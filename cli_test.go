@@ -1,0 +1,111 @@
+package dibella
+
+// End-to-end CLI smoke tests: build the three commands and chain them the
+// way a user would (seqgen -> dibella -> PAF). Skipped in -short mode to
+// keep unit runs fast; the full suite exercises the actual binaries.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dibella/internal/paf"
+)
+
+func buildTool(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func TestCLIPipelineRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	dir := t.TempDir()
+	seqgen := buildTool(t, dir, "./cmd/seqgen")
+	dibella := buildTool(t, dir, "./cmd/dibella")
+
+	reads := filepath.Join(dir, "reads.fastq")
+	truth := filepath.Join(dir, "truth.tsv")
+	out, err := exec.Command(seqgen,
+		"-genome", "20000", "-coverage", "12", "-mean-len", "1200",
+		"-error-rate", "0.1", "-seed", "3",
+		"-out", reads, "-truth", truth, "-min-overlap", "400",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("seqgen: %v\n%s", err, out)
+	}
+	if fi, err := os.Stat(reads); err != nil || fi.Size() == 0 {
+		t.Fatalf("seqgen wrote nothing: %v", err)
+	}
+
+	pafPath := filepath.Join(dir, "overlaps.paf")
+	out, err = exec.Command(dibella,
+		"-in", reads, "-out", pafPath, "-p", "4", "-k", "17",
+		"-seed-mode", "one", "-breakdown",
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("dibella: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "alignments=") {
+		t.Errorf("missing summary in output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "Alignment") {
+		t.Errorf("missing breakdown in output:\n%s", out)
+	}
+
+	f, err := os.Open(pafPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := paf.Parse(f)
+	if err != nil {
+		t.Fatalf("CLI PAF output does not parse: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("CLI produced no alignments")
+	}
+
+	// Ground-truth file sanity.
+	tdata, err := os.ReadFile(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(string(tdata)), "\n")) < 2 {
+		t.Error("truth file suspiciously small")
+	}
+}
+
+func TestCLIBenchList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	dir := t.TempDir()
+	bench := buildTool(t, dir, "./cmd/dibella-bench")
+	out, err := exec.Command(bench, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dibella-bench -list: %v\n%s", err, out)
+	}
+	for _, id := range []string{"table1", "table2", "fig3", "fig13"} {
+		if !strings.Contains(string(out), id) {
+			t.Errorf("missing experiment %q in list:\n%s", id, out)
+		}
+	}
+	// Run the cheapest experiment end to end.
+	out, err = exec.Command(bench, "-experiment", "table1", "-quiet").CombinedOutput()
+	if err != nil {
+		t.Fatalf("table1: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Cori") {
+		t.Errorf("table1 output:\n%s", out)
+	}
+}

@@ -1,0 +1,132 @@
+// Command dibella runs the distributed long-read overlap + alignment
+// pipeline on a FASTQ/FASTA read set and writes PAF alignment records.
+//
+// Usage:
+//
+//	dibella -in reads.fastq -out overlaps.paf -p 8 -seed-mode one
+//	dibella -in reads.fastq -platform cori -nodes 8   # modeled platform run
+//
+// With -platform, the report additionally carries modeled per-stage times
+// for the chosen machine (see -breakdown).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dibella/internal/fastq"
+	"dibella/internal/machine"
+	"dibella/internal/overlap"
+	"dibella/internal/paf"
+	"dibella/internal/pipeline"
+	"dibella/internal/stats"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input FASTQ/FASTA file (required)")
+		out      = flag.String("out", "", "output PAF file (default: stdout)")
+		p        = flag.Int("p", 8, "number of ranks (goroutines)")
+		k        = flag.Int("k", 0, "k-mer length (0: derive from -error-rate/-genome)")
+		maxFreq  = flag.Int("m", 0, "high-frequency k-mer cutoff (0: derive)")
+		seedMode = flag.String("seed-mode", "one", "seed exploration: one | dist | all")
+		minDist  = flag.Int("min-dist", 1000, "min seed separation for -seed-mode dist")
+		xdrop    = flag.Int("xdrop", 7, "x-drop threshold")
+		minScore = flag.Int("min-score", 0, "drop alignments scoring below this")
+		errRate  = flag.Float64("error-rate", 0.15, "per-base error rate (for parameter derivation)")
+		coverage = flag.Float64("coverage", 30, "sequencing depth (for parameter derivation)")
+		genome   = flag.Float64("genome", 4.64e6, "estimated genome size (for k derivation)")
+		useHLL   = flag.Bool("hll", false, "size the Bloom filter via HyperLogLog")
+		platform = flag.String("platform", "", "model a platform: cori | edison | titan | aws")
+		nodes    = flag.Int("nodes", 1, "modeled node count (with -platform)")
+		showBrk  = flag.Bool("breakdown", false, "print the per-stage time breakdown")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "dibella: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reads, err := fastq.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s: %s\n", *in, fastq.Summarize(reads))
+
+	cfg := pipeline.Config{
+		K: *k, MaxFreq: *maxFreq,
+		MinDist: *minDist, XDrop: *xdrop, MinAlignScore: *minScore,
+		ErrorRate: *errRate, Coverage: *coverage, GenomeEst: *genome,
+		UseHLL: *useHLL, KeepAlignments: true,
+	}
+	switch *seedMode {
+	case "one":
+		cfg.SeedMode = overlap.OneSeed
+	case "dist":
+		cfg.SeedMode = overlap.MinDistance
+	case "all":
+		cfg.SeedMode = overlap.AllSeeds
+	default:
+		fatal(fmt.Errorf("unknown -seed-mode %q", *seedMode))
+	}
+
+	var mdl *machine.Model
+	if *platform != "" {
+		plat, err := machine.PlatformByName(*platform)
+		if err != nil {
+			fatal(err)
+		}
+		mdl, err = machine.NewModelScaled(plat, *nodes, *p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "modeling %s, %d nodes (%d ranks) with %d goroutine ranks\n",
+			plat.Name, *nodes, mdl.RealRanks(), *p)
+	}
+
+	rep, err := pipeline.Execute(*p, mdl, reads, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, rep.Summary())
+
+	if *showBrk {
+		printBreakdown(rep)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := paf.Write(w, rep.PAFRecords(reads)); err != nil {
+		fatal(err)
+	}
+}
+
+func printBreakdown(rep *pipeline.Report) {
+	headers := []string{"stage", "wall", "modeled s", "exchange s"}
+	var rows [][]string
+	for _, s := range pipeline.Stages {
+		rows = append(rows, []string{
+			string(s),
+			rep.StageWall(s).String(),
+			fmt.Sprintf("%.4f", rep.StageVirtual(s)),
+			fmt.Sprintf("%.4f", rep.StageExchangeVirtual(s)),
+		})
+	}
+	fmt.Fprint(os.Stderr, stats.FormatTable(headers, rows))
+	fmt.Fprintf(os.Stderr, "alignment load imbalance: %.3f (tasks %.4f)\n",
+		rep.AlignImbalance(), rep.TaskImbalance())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dibella:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package dibella
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	reads, err := GenerateEColi30x(0.004, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) == 0 {
+		t.Fatal("no reads generated")
+	}
+	rep, err := Run(4, reads, Config{K: 17, KeepAlignments: true, SeedMode: OneSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alignments == 0 {
+		t.Fatal("no alignments computed")
+	}
+	var buf bytes.Buffer
+	if err := WritePAF(&buf, rep, reads); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\t") {
+		t.Error("PAF output empty")
+	}
+}
+
+func TestFacadeModeled(t *testing.T) {
+	reads, err := GenerateEColi30x(0.004, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunModeled(Cori, 4, 8, reads, Config{K: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VirtualTime <= 0 {
+		t.Error("modeled run produced no virtual time")
+	}
+	if _, err := RunModeled(Platform{}, 1, 1, reads, Config{K: 17}); err == nil {
+		t.Error("degenerate platform accepted")
+	}
+}
+
+func TestWritePAFRequiresKeepAlignments(t *testing.T) {
+	reads, err := GenerateEColi30x(0.004, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(2, reads, Config{K: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePAF(&bytes.Buffer{}, rep, reads); err == nil {
+		t.Error("expected KeepAlignments error")
+	}
+}
+
+func TestGenerate100x(t *testing.T) {
+	reads, err := GenerateEColi100x(0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) == 0 {
+		t.Fatal("no reads")
+	}
+}

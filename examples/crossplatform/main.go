@@ -1,0 +1,57 @@
+// Cross-platform comparison: one real pipeline execution priced under
+// each of the paper's four machine models (Cori, Edison, Titan, AWS) at a
+// chosen node count — a single-point slice of the paper's Fig. 13.
+//
+//	go run ./examples/crossplatform [-nodes 8] [-scale 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dibella"
+	"dibella/internal/pipeline"
+	"dibella/internal/stats"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "modeled node count")
+	scale := flag.Float64("scale", 0.02, "genome scale factor")
+	flag.Parse()
+
+	reads, err := dibella.GenerateEColi30x(*scale, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dibella.Config{K: 17, MaxFreq: 10, SeedMode: dibella.OneSeed}
+	simRanks := 4 * *nodes
+	if simRanks > 64 {
+		simRanks = 64
+	}
+
+	fmt.Printf("E. coli 30x analogue (scale %g), %d modeled nodes\n\n", *scale, *nodes)
+	headers := []string{"platform", "modeled s", "exchange s", "M align/s", "M k-mers/s (BF)"}
+	var rows [][]string
+	for _, plat := range []dibella.Platform{dibella.Cori, dibella.Edison, dibella.Titan, dibella.AWS} {
+		rep, err := dibella.RunModeled(plat, *nodes, simRanks, reads, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := rep.TotalVirtual()
+		var bag int64
+		for _, rr := range rep.PerRank {
+			bag += rr.Bloom.KmersParsed
+		}
+		rows = append(rows, []string{
+			plat.Name,
+			fmt.Sprintf("%.4f", total),
+			fmt.Sprintf("%.4f", rep.ExchangeVirtual()),
+			fmt.Sprintf("%.4f", float64(rep.Alignments)/total/1e6),
+			fmt.Sprintf("%.1f", float64(bag)/rep.StageVirtual(pipeline.StageBloom)/1e6),
+		})
+	}
+	fmt.Print(stats.FormatTable(headers, rows))
+	fmt.Println("\n(the paper's ranking: Cori fastest overall; AWS slowest; " +
+		"Titan the best network/compute balance)")
+}

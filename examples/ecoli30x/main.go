@@ -1,0 +1,56 @@
+// Strong-scaling study on the E. coli 30x analogue: runs the pipeline at
+// increasing rank counts on the host and prints the per-stage breakdown —
+// the same decomposition as the paper's Fig. 9, measured on your machine.
+//
+//	go run ./examples/ecoli30x [-scale 0.02] [-maxp 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dibella"
+	"dibella/internal/pipeline"
+	"dibella/internal/stats"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "genome scale factor")
+	maxP := flag.Int("maxp", 16, "largest rank count")
+	flag.Parse()
+
+	reads, err := dibella.GenerateEColi30x(*scale, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("E. coli 30x analogue at scale %g: %d reads\n\n", *scale, len(reads))
+
+	cfg := dibella.Config{K: 17, MaxFreq: 10, SeedMode: dibella.OneSeed}
+	headers := []string{"ranks", "wall", "BF", "HT", "OV", "AL", "alignments", "imbalance"}
+	var rows [][]string
+	var base float64
+	for p := 1; p <= *maxP; p *= 2 {
+		rep, err := dibella.Run(p, reads, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := rep.WallTime.Seconds()
+		if p == 1 {
+			base = t
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.2fs", t),
+			rep.StageWall(pipeline.StageBloom).Round(1e6).String(),
+			rep.StageWall(pipeline.StageHash).Round(1e6).String(),
+			rep.StageWall(pipeline.StageOverlap).Round(1e6).String(),
+			rep.StageWall(pipeline.StageAlign).Round(1e6).String(),
+			fmt.Sprintf("%d", rep.Alignments),
+			fmt.Sprintf("%.3f", rep.AlignImbalance()),
+		})
+		fmt.Printf("p=%-3d %s  speedup %.2fx\n", p, rep.Summary(), base/t)
+	}
+	fmt.Println("\nper-stage host wall time (max over ranks):")
+	fmt.Print(stats.FormatTable(headers, rows))
+}

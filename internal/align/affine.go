@@ -1,0 +1,100 @@
+package align
+
+import "fmt"
+
+// AffineScoring extends the linear scheme with affine gaps: a gap of
+// length L costs GapOpen + L·GapExtend. The paper leaves kernel choice
+// open ("the relationship between the choice of pairwise alignment kernel
+// and overall load balancing" is future work, §8); this Gotoh (1982)
+// implementation provides the standard alternative kernel for that study.
+type AffineScoring struct {
+	Match     int
+	Mismatch  int
+	GapOpen   int // negative; charged once per gap
+	GapExtend int // negative; charged per gap base
+}
+
+// Validate reports whether the scheme is sane.
+func (sc AffineScoring) Validate() error {
+	if sc.Match <= 0 {
+		return fmt.Errorf("align: match score %d must be positive", sc.Match)
+	}
+	if sc.Mismatch >= 0 {
+		return fmt.Errorf("align: mismatch score %d must be negative", sc.Mismatch)
+	}
+	if sc.GapOpen > 0 || sc.GapExtend >= 0 {
+		return fmt.Errorf("align: gap penalties (%d,%d) must be non-positive/negative",
+			sc.GapOpen, sc.GapExtend)
+	}
+	return nil
+}
+
+// Linear converts a linear scheme into the equivalent affine scheme
+// (open = 0, extend = gap).
+func (sc Scoring) Linear() AffineScoring {
+	return AffineScoring{Match: sc.Match, Mismatch: sc.Mismatch,
+		GapOpen: 0, GapExtend: sc.Gap}
+}
+
+func (sc AffineScoring) sub(a, b byte) int {
+	if a == b {
+		return sc.Match
+	}
+	return sc.Mismatch
+}
+
+// AffineSW computes optimal local alignment with affine gap costs
+// (Gotoh's algorithm) in O(|s|·|t|) time and O(|t|) space.
+func AffineSW(s, t []byte, sc AffineScoring) Result {
+	if len(s) == 0 || len(t) == 0 {
+		return Result{}
+	}
+	m := len(t)
+	// h: best score ending at (i,j); e: best ending in a gap in s
+	// (horizontal); f: best ending in a gap in t (vertical).
+	hPrev := make([]int, m+1)
+	hCur := make([]int, m+1)
+	fPrev := make([]int, m+1)
+	fCur := make([]int, m+1)
+	for j := range fPrev {
+		fPrev[j] = negInf
+	}
+	best := Result{}
+	for i := 1; i <= len(s); i++ {
+		hCur[0] = 0
+		fCur[0] = negInf
+		e := negInf // horizontal gap state for the current row
+		for j := 1; j <= m; j++ {
+			// Extend or open a horizontal gap (consumes t[j-1]).
+			e = max2(e+sc.GapExtend, hCur[j-1]+sc.GapOpen+sc.GapExtend)
+			// Extend or open a vertical gap (consumes s[i-1]).
+			fCur[j] = max2(fPrev[j]+sc.GapExtend, hPrev[j]+sc.GapOpen+sc.GapExtend)
+			v := hPrev[j-1] + sc.sub(s[i-1], t[j-1])
+			if e > v {
+				v = e
+			}
+			if fCur[j] > v {
+				v = fCur[j]
+			}
+			if v < 0 {
+				v = 0
+			}
+			hCur[j] = v
+			if v > best.Score {
+				best.Score = v
+				best.SEnd, best.TEnd = i, j
+			}
+		}
+		hPrev, hCur = hCur, hPrev
+		fPrev, fCur = fCur, fPrev
+	}
+	best.Cells = int64(len(s)) * int64(m)
+	return best
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

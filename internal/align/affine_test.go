@@ -1,0 +1,113 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAffineScoringValidate(t *testing.T) {
+	good := AffineScoring{Match: 1, Mismatch: -1, GapOpen: -2, GapExtend: -1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []AffineScoring{
+		{Match: 0, Mismatch: -1, GapOpen: -2, GapExtend: -1},
+		{Match: 1, Mismatch: 0, GapOpen: -2, GapExtend: -1},
+		{Match: 1, Mismatch: -1, GapOpen: 1, GapExtend: -1},
+		{Match: 1, Mismatch: -1, GapOpen: -2, GapExtend: 0},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("scheme %d validated", i)
+		}
+	}
+}
+
+// Property: with zero open cost, affine SW equals linear SW exactly.
+func TestAffineReducesToLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSeq(rng, rng.Intn(50)+1)
+		u := randomSeq(rng, rng.Intn(50)+1)
+		lin := SmithWaterman(s, u, DefaultScoring)
+		aff := AffineSW(s, u, DefaultScoring.Linear())
+		return lin.Score == aff.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: charging gap opening can only lower the score.
+func TestAffineOpenPenaltyMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSeq(rng, rng.Intn(60)+5)
+		u := mutate(rng, s, 0.25)
+		free := AffineSW(s, u, AffineScoring{Match: 1, Mismatch: -1, GapOpen: 0, GapExtend: -1})
+		costly := AffineSW(s, u, AffineScoring{Match: 1, Mismatch: -1, GapOpen: -3, GapExtend: -1})
+		return costly.Score <= free.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffinePrefersLongGaps(t *testing.T) {
+	// One 4-base gap vs four 1-base gaps: the affine scheme must prefer
+	// keeping the gap contiguous.
+	s := []byte("AAAATTTTGGGG")
+	u := []byte("AAAAGGGG") // TTTT deleted
+	sc := AffineScoring{Match: 2, Mismatch: -3, GapOpen: -4, GapExtend: -1}
+	r := AffineSW(s, u, sc)
+	// 8 matches (16) minus one gap open (4) + 4 extends (4) = 8.
+	if r.Score != 8 {
+		t.Errorf("score = %d, want 8", r.Score)
+	}
+}
+
+func TestAffineSelfAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randomSeq(rng, 80)
+	sc := AffineScoring{Match: 1, Mismatch: -1, GapOpen: -5, GapExtend: -1}
+	r := AffineSW(s, s, sc)
+	if r.Score != len(s) {
+		t.Errorf("self-alignment = %d, want %d", r.Score, len(s))
+	}
+}
+
+func TestAffineEmpty(t *testing.T) {
+	sc := DefaultScoring.Linear()
+	if AffineSW(nil, []byte("ACGT"), sc).Score != 0 {
+		t.Error("empty s should score 0")
+	}
+	if AffineSW([]byte("ACGT"), nil, sc).Score != 0 {
+		t.Error("empty t should score 0")
+	}
+}
+
+// Property: affine SW is symmetric.
+func TestAffineSymmetric(t *testing.T) {
+	sc := AffineScoring{Match: 2, Mismatch: -2, GapOpen: -3, GapExtend: -1}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSeq(rng, rng.Intn(40)+1)
+		u := randomSeq(rng, rng.Intn(40)+1)
+		return AffineSW(s, u, sc).Score == AffineSW(u, s, sc).Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAffineSW1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	s := randomSeq(rng, 1000)
+	u := randomSeq(rng, 1000)
+	sc := AffineScoring{Match: 1, Mismatch: -1, GapOpen: -2, GapExtend: -1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AffineSW(s, u, sc)
+	}
+}

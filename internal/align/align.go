@@ -1,0 +1,135 @@
+// Package align implements the pairwise-alignment kernels of the pipeline:
+// full Smith-Waterman local alignment (the O(|s|·|t|) reference), banded
+// Smith-Waterman, and the x-drop seed-and-extend kernel that diBELLA uses
+// in production (the paper delegates to SeqAn's implementation of Zhang et
+// al. 2000; here it is built from scratch).
+//
+// X-drop extension is what makes pairwise alignment linear in read length:
+// starting from an exactly matching seed, the DP explores antidiagonals
+// outward and abandons any cell whose score falls more than X below the
+// best seen, so divergent pairs terminate after a constant-ish band. The
+// paper's Fig. 8 attributes alignment-stage load imbalance partly to this
+// early exit; every kernel here therefore reports the exact number of DP
+// cells it computed, which both the machine model and the load-balance
+// experiments consume.
+package align
+
+import "fmt"
+
+// Scoring is a linear-gap scoring scheme. Match must be positive; Mismatch
+// and Gap must be negative (BELLA's defaults are +1/-1/-1).
+type Scoring struct {
+	Match    int
+	Mismatch int
+	Gap      int
+}
+
+// DefaultScoring is BELLA's +1/-1/-1 scheme.
+var DefaultScoring = Scoring{Match: 1, Mismatch: -1, Gap: -1}
+
+// Validate reports whether the scheme is sane.
+func (sc Scoring) Validate() error {
+	if sc.Match <= 0 {
+		return fmt.Errorf("align: match score %d must be positive", sc.Match)
+	}
+	if sc.Mismatch >= 0 {
+		return fmt.Errorf("align: mismatch score %d must be negative", sc.Mismatch)
+	}
+	if sc.Gap >= 0 {
+		return fmt.Errorf("align: gap score %d must be negative", sc.Gap)
+	}
+	return nil
+}
+
+// sub returns the substitution score for aligning bytes a and b.
+func (sc Scoring) sub(a, b byte) int {
+	if a == b {
+		return sc.Match
+	}
+	return sc.Mismatch
+}
+
+// Result describes one pairwise alignment. Coordinate ranges are half-open
+// over the original sequences.
+type Result struct {
+	Score  int
+	SStart int
+	SEnd   int
+	TStart int
+	TEnd   int
+	// Cells is the number of DP cells the kernel computed: the exact
+	// computational cost, used by the machine model and the load-imbalance
+	// analysis.
+	Cells int64
+}
+
+// AlignedLen returns the mean of the two aligned span lengths, the length
+// figure reported in overlap records.
+func (r Result) AlignedLen() int {
+	return ((r.SEnd - r.SStart) + (r.TEnd - r.TStart)) / 2
+}
+
+// EditOp is one column of an alignment transcript.
+type EditOp byte
+
+// Transcript operations.
+const (
+	OpMatch    EditOp = 'M'
+	OpMismatch EditOp = 'X'
+	OpInsert   EditOp = 'I' // base present in s, gap in t
+	OpDelete   EditOp = 'D' // gap in s, base present in t
+)
+
+// Transcript is an edit transcript between two aligned regions.
+type Transcript []EditOp
+
+// Identity returns the fraction of transcript columns that are matches.
+func (tr Transcript) Identity() float64 {
+	if len(tr) == 0 {
+		return 0
+	}
+	m := 0
+	for _, op := range tr {
+		if op == OpMatch {
+			m++
+		}
+	}
+	return float64(m) / float64(len(tr))
+}
+
+// Counts tallies the transcript by operation.
+func (tr Transcript) Counts() (match, mismatch, ins, del int) {
+	for _, op := range tr {
+		switch op {
+		case OpMatch:
+			match++
+		case OpMismatch:
+			mismatch++
+		case OpInsert:
+			ins++
+		case OpDelete:
+			del++
+		}
+	}
+	return
+}
+
+// String renders the transcript compactly (e.g. "5M1X3M2D").
+func (tr Transcript) String() string {
+	if len(tr) == 0 {
+		return ""
+	}
+	out := make([]byte, 0, len(tr))
+	run := 1
+	for i := 1; i <= len(tr); i++ {
+		if i < len(tr) && tr[i] == tr[i-1] {
+			run++
+			continue
+		}
+		out = append(out, []byte(fmt.Sprintf("%d%c", run, tr[i-1]))...)
+		run = 1
+	}
+	return string(out)
+}
+
+const negInf = int(-1) << 40

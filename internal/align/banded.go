@@ -1,0 +1,68 @@
+package align
+
+// Banded computes Smith-Waterman restricted to cells within `band` of the
+// main diagonal (|i-j| <= band). With band >= max(|s|,|t|) it equals full
+// Smith-Waterman; smaller bands trade optimality for O(band·|s|) time, the
+// "banded Smith-Waterman" improvement the paper cites for read-to-read
+// alignment.
+func Banded(s, t []byte, sc Scoring, band int) Result {
+	if len(s) == 0 || len(t) == 0 || band < 0 {
+		return Result{}
+	}
+	m := len(t)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	best := Result{}
+	var cells int64
+	for i := 1; i <= len(s); i++ {
+		lo := i - band
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + band
+		if hi > m {
+			hi = m
+		}
+		if lo > hi {
+			break
+		}
+		// Cells outside the band act as -inf barriers.
+		if lo-1 >= 0 {
+			cur[lo-1] = negInf
+		}
+		cur[0] = 0
+		for j := lo; j <= hi; j++ {
+			v := prev[j-1] + sc.sub(s[i-1], t[j-1])
+			if prev[j-1] == negInf {
+				v = negInf
+			}
+			if up := prev[j] + sc.Gap; prev[j] != negInf && up > v {
+				v = up
+			}
+			if left := cur[j-1] + sc.Gap; cur[j-1] != negInf && left > v {
+				v = left
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			cells++
+			if v > best.Score {
+				best.Score = v
+				best.SEnd, best.TEnd = i, j
+			}
+		}
+		if hi+1 <= m {
+			cur[hi+1] = negInf
+		}
+		prev, cur = cur, prev
+		// Reset boundary cells of the reused row: positions outside next
+		// row's band are overwritten or marked, but ensure row edges do
+		// not leak scores across iterations.
+		if lo-1 >= 1 {
+			prev[lo-1] = negInf
+		}
+	}
+	best.Cells = cells
+	return best
+}

@@ -1,0 +1,156 @@
+package align
+
+import "fmt"
+
+// XDrop performs seed-and-extend alignment: the k bases at s[seedS:seedS+k]
+// and t[seedT:seedT+k] are assumed to match exactly (they are a shared
+// k-mer), and the alignment is extended outward in both directions with
+// x-drop pruning: any DP cell scoring more than x below the best score seen
+// is abandoned, so extension over divergent sequence terminates quickly.
+//
+// This reimplements the greedy x-drop extension of Zhang, Schwartz, Wagner
+// & Miller (2000) — the algorithm behind SeqAn's extendSeed that diBELLA
+// calls — over antidiagonals with a shrinking active window.
+func XDrop(s, t []byte, seedS, seedT, k int, sc Scoring, x int) Result {
+	if k <= 0 || seedS < 0 || seedT < 0 || seedS+k > len(s) || seedT+k > len(t) {
+		panic(fmt.Sprintf("align: bad seed (s:%d t:%d k:%d |s|:%d |t|:%d)",
+			seedS, seedT, k, len(s), len(t)))
+	}
+	if x < 0 {
+		panic(fmt.Sprintf("align: negative x-drop %d", x))
+	}
+	right := extend(s[seedS+k:], t[seedT+k:], sc, x, false)
+	left := extend(s[:seedS], t[:seedT], sc, x, true)
+	return Result{
+		Score:  k*sc.Match + right.score + left.score,
+		SStart: seedS - left.aLen,
+		SEnd:   seedS + k + right.aLen,
+		TStart: seedT - left.bLen,
+		TEnd:   seedT + k + right.bLen,
+		Cells:  right.cells + left.cells,
+	}
+}
+
+// SeedMatches reports whether the claimed seed is an exact k-base match,
+// a precondition XDrop assumes (shared k-mers guarantee it after strand
+// normalization).
+func SeedMatches(s, t []byte, seedS, seedT, k int) bool {
+	if seedS < 0 || seedT < 0 || seedS+k > len(s) || seedT+k > len(t) {
+		return false
+	}
+	for i := 0; i < k; i++ {
+		if s[seedS+i] != t[seedT+i] {
+			return false
+		}
+	}
+	return true
+}
+
+type extension struct {
+	score      int
+	aLen, bLen int // extension extents achieving the best score
+	cells      int64
+}
+
+// extend grows an alignment from position (0,0) of a and b (or of their
+// reversals when rev is true), maximizing the extension score under x-drop
+// pruning. Unlike local alignment the score may go negative (down to
+// best-x) before recovering.
+func extend(a, b []byte, sc Scoring, x int, rev bool) extension {
+	n, m := len(a), len(b)
+	if n == 0 && m == 0 {
+		return extension{}
+	}
+	at := func(i int) byte {
+		if rev {
+			return a[n-i]
+		}
+		return a[i-1]
+	}
+	bt := func(j int) byte {
+		if rev {
+			return b[m-j]
+		}
+		return b[j-1]
+	}
+
+	// Three rolling antidiagonals indexed by i, with valid windows.
+	prev2 := make([]int, n+1)
+	prev1 := make([]int, n+1)
+	cur := make([]int, n+1)
+	lo2, hi2 := 0, -1 // d-2 window (empty initially)
+	lo1, hi1 := 0, 0  // d-1 window: the single cell (0,0)
+	prev1[0] = 0
+
+	val := func(arr []int, i, lo, hi int) int {
+		if i < lo || i > hi {
+			return negInf
+		}
+		return arr[i]
+	}
+
+	best := extension{}
+	bestScore := 0
+	for d := 1; d <= n+m; d++ {
+		lo := lo1
+		if d-m > lo {
+			lo = d - m
+		}
+		hi := hi1 + 1
+		if d < hi {
+			hi = d
+		}
+		if n < hi {
+			hi = n
+		}
+		if lo > hi {
+			break
+		}
+		pruneBelow := bestScore - x
+		for i := lo; i <= hi; i++ {
+			j := d - i
+			v := negInf
+			if j >= 1 {
+				if left := val(prev1, i, lo1, hi1); left != negInf && left+sc.Gap > v {
+					v = left + sc.Gap
+				}
+			}
+			if i >= 1 {
+				if up := val(prev1, i-1, lo1, hi1); up != negInf && up+sc.Gap > v {
+					v = up + sc.Gap
+				}
+			}
+			if i >= 1 && j >= 1 {
+				if diag := val(prev2, i-1, lo2, hi2); diag != negInf {
+					if w := diag + sc.sub(at(i), bt(j)); w > v {
+						v = w
+					}
+				}
+			}
+			best.cells++
+			if v < pruneBelow {
+				v = negInf
+			}
+			cur[i] = v
+			if v > bestScore {
+				bestScore = v
+				best.score = v
+				best.aLen, best.bLen = i, j
+			}
+		}
+		// Shrink the active window to surviving cells.
+		for lo <= hi && cur[lo] == negInf {
+			lo++
+		}
+		for hi >= lo && cur[hi] == negInf {
+			hi--
+		}
+		if lo > hi {
+			break
+		}
+		prev2, prev1, cur = prev1, cur, prev2
+		lo2, hi2 = lo1, hi1
+		lo1, hi1 = lo, hi
+	}
+	return best
+}

@@ -1,0 +1,111 @@
+package bella_test
+
+// Validation of the statistical model against synthesized data: the
+// fractions the theory predicts (singleton k-mers, seed-detection
+// probability) must match what the generator actually produces. These are
+// the quantities the paper leans on when sizing the Bloom filter (§6,
+// "up to 98% of k-mers from long reads are singletons") and choosing k.
+
+import (
+	"math"
+	"testing"
+
+	"dibella/internal/bella"
+	"dibella/internal/kmer"
+	"dibella/internal/seqgen"
+)
+
+func TestSingletonFractionMatchesGeneratedData(t *testing.T) {
+	const (
+		k   = 17
+		e   = 0.15
+		cov = 30
+	)
+	ds, err := seqgen.Generate(seqgen.Config{
+		GenomeLen: 60000, Seed: 31, Coverage: cov, MeanReadLen: 3000,
+		MinReadLen: 800, ErrorRate: e, BothStrands: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[kmer.Kmer]int)
+	total := 0
+	for id, r := range ds.Reads {
+		for _, ex := range kmer.ExtractAll(r.Seq, k, uint32(id)) {
+			counts[ex.Kmer]++
+			total++
+		}
+	}
+	singletons := 0
+	for _, c := range counts {
+		if c == 1 {
+			singletons++
+		}
+	}
+	// Instance-level singleton fraction (what the Bloom filter removes).
+	measured := float64(singletons) / float64(total)
+	predicted := bella.EstimateSingletonFraction(e, k, cov)
+	if math.Abs(measured-predicted) > 0.08 {
+		t.Errorf("singleton fraction: measured %.3f, theory %.3f", measured, predicted)
+	}
+	// The paper's qualitative claim for long reads.
+	if measured < 0.80 {
+		t.Errorf("singleton fraction %.3f below the long-read regime", measured)
+	}
+}
+
+func TestSeedDetectionProbabilityMatchesData(t *testing.T) {
+	// For overlapping read pairs, the fraction sharing at least one exact
+	// k-mer must be at least the theory's guarantee at the overlap floor.
+	const (
+		k     = 17
+		e     = 0.10
+		minOv = 2000
+	)
+	ds, err := seqgen.Generate(seqgen.Config{
+		GenomeLen: 40000, Seed: 37, Coverage: 12, MeanReadLen: 3000,
+		MinReadLen: 1000, ErrorRate: e, BothStrands: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index k-mers per read.
+	sets := make([]map[kmer.Kmer]bool, len(ds.Reads))
+	for id, r := range ds.Reads {
+		sets[id] = make(map[kmer.Kmer]bool)
+		for _, ex := range kmer.ExtractAll(r.Seq, k, uint32(id)) {
+			sets[id][ex.Kmer] = true
+		}
+	}
+	share := func(a, b uint32) bool {
+		small, large := sets[a], sets[b]
+		if len(small) > len(large) {
+			small, large = large, small
+		}
+		for km := range small {
+			if large[km] {
+				return true
+			}
+		}
+		return false
+	}
+	truth := ds.TrueOverlaps(minOv)
+	if len(truth) < 30 {
+		t.Fatalf("only %d true overlaps; test underpowered", len(truth))
+	}
+	shared := 0
+	for _, pr := range truth {
+		if share(pr[0], pr[1]) {
+			shared++
+		}
+	}
+	measured := float64(shared) / float64(len(truth))
+	// Theory gives the probability at exactly minOv; most pairs overlap by
+	// more, so the measured rate must be at least the floor's prediction
+	// (within sampling noise).
+	floor := bella.ProbSharedCorrectKmer(e, k, minOv)
+	if measured < floor-0.05 {
+		t.Errorf("seed detection: measured %.3f below theoretical floor %.3f",
+			measured, floor)
+	}
+}

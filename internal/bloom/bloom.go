@@ -1,0 +1,169 @@
+// Package bloom implements the Bloom filter used by diBELLA's first
+// pipeline stage to identify singleton k-mers without storing the full
+// k-mer bag.
+//
+// A Bloom filter is a bit array with h hash functions per element; it can
+// report false positives but never false negatives (Bloom 1970). diBELLA
+// (following HipMer) builds one partition per rank: k-mers are exchanged to
+// their hash owner, tested, and only those seen at least twice become hash
+// table keys. For long reads up to 98% of k-mers are singletons, so the
+// filter removes the bulk of the data before any per-k-mer metadata is
+// stored.
+//
+// Hashing uses the standard Kirsch–Mitzenmacher double-hashing scheme
+// (g_i(x) = h1(x) + i·h2(x)), which preserves the asymptotic false-positive
+// rate with only two base hashes per element.
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Filter is a Bloom filter over 64-bit keys (pre-hashed k-mers).
+// The zero value is unusable; construct with New or NewWithEstimate.
+type Filter struct {
+	bits     []uint64
+	m        uint64 // number of bits
+	h        int    // number of hash probes
+	inserted uint64 // number of Insert calls (not distinct elements)
+}
+
+// New creates a filter with m bits (rounded up to a multiple of 64) and h
+// hash probes.
+func New(m uint64, h int) *Filter {
+	if m == 0 || h <= 0 {
+		panic(fmt.Sprintf("bloom: invalid parameters m=%d h=%d", m, h))
+	}
+	words := (m + 63) / 64
+	return &Filter{bits: make([]uint64, words), m: words * 64, h: h}
+}
+
+// NewWithEstimate sizes a filter for n expected distinct elements at target
+// false-positive rate p, using the optimal m = -n·ln p / (ln 2)² and
+// h = (m/n)·ln 2.
+func NewWithEstimate(n uint64, p float64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("bloom: false-positive rate %v out of (0,1)", p))
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	h := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if h < 1 {
+		h = 1
+	}
+	return New(m, h)
+}
+
+// NumBits returns the filter size in bits.
+func (f *Filter) NumBits() uint64 { return f.m }
+
+// NumHashes returns the number of hash probes per element.
+func (f *Filter) NumHashes() int { return f.h }
+
+// SizeBytes returns the heap footprint of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// probe derives the i-th bit index for a pre-hashed key via double hashing.
+// h2 is forced odd so that, with m a power-of-two multiple of 64, the probe
+// sequence cycles through distinct positions.
+func (f *Filter) probe(hash uint64, i int) uint64 {
+	h1 := hash
+	h2 := (hash>>32 | hash<<32) | 1
+	return (h1 + uint64(i)*h2) % f.m
+}
+
+// Insert adds a pre-hashed key.
+func (f *Filter) Insert(hash uint64) {
+	for i := 0; i < f.h; i++ {
+		b := f.probe(hash, i)
+		f.bits[b/64] |= 1 << (b % 64)
+	}
+	f.inserted++
+}
+
+// Contains reports whether the key may be present (false positives
+// possible; false negatives impossible).
+func (f *Filter) Contains(hash uint64) bool {
+	for i := 0; i < f.h; i++ {
+		b := f.probe(hash, i)
+		if f.bits[b/64]&(1<<(b%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// InsertAndTest inserts the key and reports whether it may have been
+// present before this insertion. This single-pass operation is what the
+// Bloom stage uses: a "true" return means the k-mer has (probably) been
+// seen before and should seed the hash table.
+func (f *Filter) InsertAndTest(hash uint64) bool {
+	present := true
+	for i := 0; i < f.h; i++ {
+		b := f.probe(hash, i)
+		word, bit := b/64, uint64(1)<<(b%64)
+		if f.bits[word]&bit == 0 {
+			present = false
+			f.bits[word] |= bit
+		}
+	}
+	f.inserted++
+	return present
+}
+
+// FillRatio returns the fraction of set bits, from which the realized
+// false-positive rate can be estimated as FillRatio^h.
+func (f *Filter) FillRatio() float64 {
+	ones := 0
+	for _, w := range f.bits {
+		ones += popcount(w)
+	}
+	return float64(ones) / float64(f.m)
+}
+
+// EstimatedFPRate returns the filter's current false-positive probability
+// estimate, FillRatio^h.
+func (f *Filter) EstimatedFPRate() float64 {
+	return math.Pow(f.FillRatio(), float64(f.h))
+}
+
+// EstimatedCardinality estimates the number of distinct inserted elements
+// from the fill ratio: n ≈ -(m/h)·ln(1 - X/m) where X is the set-bit count
+// (Swamidass & Baldi).
+func (f *Filter) EstimatedCardinality() float64 {
+	x := f.FillRatio()
+	if x >= 1 {
+		return math.Inf(1)
+	}
+	return -float64(f.m) / float64(f.h) * math.Log(1-x)
+}
+
+// Inserted returns the number of Insert/InsertAndTest calls.
+func (f *Filter) Inserted() uint64 { return f.inserted }
+
+// Reset clears the filter for reuse.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.inserted = 0
+}
+
+// TheoreticalFPRate returns the design false-positive rate of a filter with
+// m bits and h hashes after n distinct insertions:
+// (1 - e^{-hn/m})^h.
+func TheoreticalFPRate(m uint64, h int, n uint64) float64 {
+	return math.Pow(1-math.Exp(-float64(h)*float64(n)/float64(m)), float64(h))
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,241 @@
+package bloom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRoundsUp(t *testing.T) {
+	f := New(100, 3)
+	if f.NumBits()%64 != 0 || f.NumBits() < 100 {
+		t.Errorf("NumBits = %d", f.NumBits())
+	}
+	if f.NumHashes() != 3 {
+		t.Errorf("NumHashes = %d", f.NumHashes())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, c := range []struct {
+		m uint64
+		h int
+	}{{0, 1}, {64, 0}, {64, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.m, c.h)
+				}
+			}()
+			New(c.m, c.h)
+		}()
+	}
+}
+
+func TestNewWithEstimatePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWithEstimate(_, %v) did not panic", p)
+				}
+			}()
+			NewWithEstimate(100, p)
+		}()
+	}
+}
+
+// Property: no false negatives, ever.
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%2000 + 1
+		rng := rand.New(rand.NewSource(seed))
+		bf := NewWithEstimate(uint64(n), 0.05)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+			bf.Insert(keys[i])
+		}
+		for _, k := range keys {
+			if !bf.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFalsePositiveRateBounded(t *testing.T) {
+	const n = 100000
+	const target = 0.02
+	bf := NewWithEstimate(n, target)
+	rng := rand.New(rand.NewSource(1))
+	inserted := make(map[uint64]bool, n)
+	for len(inserted) < n {
+		k := rng.Uint64()
+		inserted[k] = true
+		bf.Insert(k)
+	}
+	fp := 0
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		k := rng.Uint64()
+		if inserted[k] {
+			continue
+		}
+		if bf.Contains(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / trials
+	if rate > target*2 {
+		t.Errorf("observed FP rate %.4f exceeds 2x target %.4f", rate, target)
+	}
+	if est := bf.EstimatedFPRate(); math.Abs(est-rate) > target {
+		t.Errorf("estimated FP rate %.4f far from observed %.4f", est, rate)
+	}
+}
+
+func TestInsertAndTestSemantics(t *testing.T) {
+	bf := NewWithEstimate(1000, 0.01)
+	if bf.InsertAndTest(42) {
+		t.Error("first insertion reported present")
+	}
+	if !bf.InsertAndTest(42) {
+		t.Error("second insertion reported absent (false negative)")
+	}
+	if !bf.Contains(42) {
+		t.Error("Contains after insert failed")
+	}
+}
+
+// Property: InsertAndTest(x) after Insert(x) always reports present.
+func TestInsertAndTestNeverForgets(t *testing.T) {
+	f := func(keys []uint64) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		bf := NewWithEstimate(uint64(len(keys)), 0.05)
+		for _, k := range keys {
+			bf.Insert(k)
+		}
+		for _, k := range keys {
+			if !bf.InsertAndTest(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimatedCardinality(t *testing.T) {
+	const n = 50000
+	bf := NewWithEstimate(n, 0.01)
+	rng := rand.New(rand.NewSource(2))
+	seen := make(map[uint64]bool)
+	for len(seen) < n {
+		k := rng.Uint64()
+		if !seen[k] {
+			seen[k] = true
+			bf.Insert(k)
+		}
+	}
+	est := bf.EstimatedCardinality()
+	if est < n*0.95 || est > n*1.05 {
+		t.Errorf("cardinality estimate %.0f, want ~%d", est, n)
+	}
+}
+
+func TestReset(t *testing.T) {
+	bf := New(1024, 3)
+	bf.Insert(7)
+	if !bf.Contains(7) {
+		t.Fatal("insert failed")
+	}
+	bf.Reset()
+	if bf.Contains(7) {
+		t.Error("Reset did not clear bits")
+	}
+	if bf.Inserted() != 0 {
+		t.Error("Reset did not clear insert count")
+	}
+	if bf.FillRatio() != 0 {
+		t.Error("Reset left set bits")
+	}
+}
+
+func TestTheoreticalFPRate(t *testing.T) {
+	// Design point: m/n = 10 bits per element, h = 7 -> ~0.8% FP.
+	got := TheoreticalFPRate(10000, 7, 1000)
+	if got < 0.005 || got > 0.012 {
+		t.Errorf("TheoreticalFPRate = %v, want ~0.008", got)
+	}
+	// More insertions -> higher FP rate (monotonicity).
+	if TheoreticalFPRate(10000, 7, 2000) <= got {
+		t.Error("FP rate not monotone in n")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	bf := New(64*10, 2)
+	if bf.SizeBytes() != 80 {
+		t.Errorf("SizeBytes = %d, want 80", bf.SizeBytes())
+	}
+}
+
+func TestSingletonDetectionScenario(t *testing.T) {
+	// The pipeline use case: feed a k-mer stream where some k-mers repeat;
+	// InsertAndTest must flag every repeated k-mer at least once, and the
+	// set of flagged k-mers may include a few singleton false positives but
+	// must contain all true repeats.
+	rng := rand.New(rand.NewSource(4))
+	const distinct = 20000
+	keys := make([]uint64, distinct)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	// First 10% of keys appear 3x, the rest once (long-read-like skew).
+	var stream []uint64
+	repeated := make(map[uint64]bool)
+	for i, k := range keys {
+		stream = append(stream, k)
+		if i < distinct/10 {
+			stream = append(stream, k, k)
+			repeated[k] = true
+		}
+	}
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+
+	bf := NewWithEstimate(distinct, 0.01)
+	flagged := make(map[uint64]bool)
+	for _, k := range stream {
+		if bf.InsertAndTest(k) {
+			flagged[k] = true
+		}
+	}
+	for k := range repeated {
+		if !flagged[k] {
+			t.Fatal("a repeated k-mer was not flagged (false negative)")
+		}
+	}
+	// False-positive singletons should be rare.
+	extras := len(flagged) - len(repeated)
+	if extras > distinct/100 {
+		t.Errorf("%d singleton false positives flagged (>1%%)", extras)
+	}
+}
+
+func BenchmarkInsertAndTest(b *testing.B) {
+	bf := NewWithEstimate(uint64(b.N)+1, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bf.InsertAndTest(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}

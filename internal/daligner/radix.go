@@ -1,0 +1,46 @@
+package daligner
+
+// radixSort orders tuples by k-mer with an LSD radix sort over the packed
+// 64-bit key, one byte per pass — DALIGNER's "k-mer sorting based on the
+// position within a sequence ... then a merge-sort to detect common
+// k-mers" is sort-centric, and radix is the fast path for fixed-width
+// keys. Ties (equal k-mers) retain input order (the sort is stable), which
+// keeps run scans deterministic.
+func radixSort(ts []tuple) {
+	if len(ts) < 2 {
+		return
+	}
+	buf := make([]tuple, len(ts))
+	src, dst := ts, buf
+	for shift := uint(0); shift < 64; shift += 8 {
+		var counts [257]int
+		for i := range src {
+			b := int(uint64(src[i].km)>>shift) & 0xFF
+			counts[b+1]++
+		}
+		// Skip passes where every key shares the byte (common for high
+		// bytes of small k).
+		allSame := false
+		for b := 0; b < 256; b++ {
+			if counts[b+1] == len(src) {
+				allSame = true
+				break
+			}
+		}
+		if allSame {
+			continue
+		}
+		for b := 1; b < 257; b++ {
+			counts[b] += counts[b-1]
+		}
+		for i := range src {
+			b := byte(uint64(src[i].km) >> shift)
+			dst[counts[b]] = src[i]
+			counts[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &ts[0] {
+		copy(ts, src)
+	}
+}

@@ -1,0 +1,459 @@
+// Package dht builds diBELLA's distributed k-mer hash table: the first two
+// pipeline stages of the paper.
+//
+// Stage 1 (Bloom filter construction, §6): every rank streams its local
+// reads into k-mers, routes each k-mer to its hash owner through an
+// irregular all-to-all, and the owner inserts it into a local Bloom filter
+// partition. A k-mer seen for the (probable) second time becomes a key in
+// the owner's hash-table partition. Because up to ~98% of long-read k-mers
+// are singletons, this pass eliminates the bulk of the data without storing
+// per-instance metadata.
+//
+// Stage 2 (hash table construction, §7): the reads are streamed again, now
+// shipping (k-mer, read ID, position, orientation) tuples; owners append
+// occurrences only for resident keys and count every sighting. Afterwards
+// each partition prunes Bloom false positives (count < 2) and
+// high-frequency repeat k-mers (count > m). Surviving keys are the
+// "retained" k-mers — the edges of the read-overlap graph.
+//
+// Both passes run in memory-limited rounds: ranks agree (via all-reduce) on
+// the global round count and exchange at most MaxKmersPerRound k-mers per
+// rank per round, so the full k-mer bag never resides in memory — the
+// paper's streaming design.
+package dht
+
+import (
+	"fmt"
+	"time"
+
+	"dibella/internal/bella"
+	"dibella/internal/bloom"
+	"dibella/internal/hll"
+	"dibella/internal/kmer"
+	"dibella/internal/machine"
+	"dibella/internal/spmd"
+	"dibella/internal/stats"
+)
+
+// Occ is a compact k-mer occurrence: the read it was seen in and its
+// position, with the orientation bit packed into the low position bit.
+type Occ struct {
+	Read    uint32
+	PosFlag uint32
+}
+
+// MakeOcc packs an occurrence.
+func MakeOcc(read, pos uint32, forward bool) Occ {
+	pf := pos << 1
+	if forward {
+		pf |= 1
+	}
+	return Occ{Read: read, PosFlag: pf}
+}
+
+// Pos returns the k-mer's offset within the read.
+func (o Occ) Pos() uint32 { return o.PosFlag >> 1 }
+
+// Forward reports whether the canonical k-mer matched the read's forward
+// orientation.
+func (o Occ) Forward() bool { return o.PosFlag&1 == 1 }
+
+// Entry is one hash-table value: the total sighting count and the
+// occurrence list (capped at the high-frequency cutoff, beyond which the
+// k-mer is doomed to pruning anyway).
+type Entry struct {
+	Count int32
+	Occs  []Occ
+}
+
+// Partition is one rank's shard of the distributed hash table.
+type Partition struct {
+	K       int
+	MaxFreq int
+	Table   map[kmer.Kmer]*Entry
+}
+
+// Retained returns the number of retained (post-prune) k-mers in the
+// partition.
+func (p *Partition) Retained() int { return len(p.Table) }
+
+// ForEach visits every retained k-mer. Iteration order is map order
+// (unspecified); consumers needing determinism must sort.
+func (p *Partition) ForEach(fn func(km kmer.Kmer, occs []Occ)) {
+	for km, e := range p.Table {
+		fn(km, e.Occs)
+	}
+}
+
+// LocalReads is one rank's block of the read set: sequences with global
+// IDs IDStart, IDStart+1, ...
+type LocalReads struct {
+	IDStart uint32
+	Seqs    [][]byte
+}
+
+// Config controls hash-table construction.
+type Config struct {
+	K       int // k-mer length
+	MaxFreq int // high-frequency cutoff m
+
+	// MaxKmersPerRound bounds per-rank memory per exchange round
+	// (default 1<<19).
+	MaxKmersPerRound int
+
+	// BloomFP is the Bloom filter's target false-positive rate
+	// (default 0.01).
+	BloomFP float64
+
+	// DistinctRatio estimates |distinct k-mers| / |k-mer bag| when sizing
+	// the Bloom filter from Equation 2 (default from bella theory given
+	// ErrorRate; fallback 0.75).
+	DistinctRatio float64
+	ErrorRate     float64 // used to derive DistinctRatio when set
+
+	// UseHLL sizes the Bloom filter from a HyperLogLog cardinality
+	// estimate (an extra scan plus a register all-reduce) instead of the
+	// Equation-2 closed form — the HipMer fallback discussed in §6.
+	UseHLL       bool
+	HLLPrecision uint8 // default 12
+
+	// MinimizerWindow > 1 ships only (w,k)-minimizers instead of every
+	// k-mer (the Minimap2-style compaction of §11's related work),
+	// cutting exchange volume by ~(w+1)/2 at a small recall cost.
+	// 0 or 1 disables.
+	MinimizerWindow int
+}
+
+func (cfg *Config) setDefaults() error {
+	if !kmer.ValidK(cfg.K) {
+		return fmt.Errorf("dht: invalid k %d", cfg.K)
+	}
+	if cfg.MaxFreq < 2 {
+		return fmt.Errorf("dht: max frequency %d must be >= 2", cfg.MaxFreq)
+	}
+	if cfg.MaxKmersPerRound <= 0 {
+		cfg.MaxKmersPerRound = 1 << 19
+	}
+	if cfg.BloomFP == 0 {
+		cfg.BloomFP = 0.01
+	}
+	if cfg.BloomFP < 0 || cfg.BloomFP >= 1 {
+		return fmt.Errorf("dht: bloom false-positive rate %v out of (0,1)", cfg.BloomFP)
+	}
+	if cfg.DistinctRatio == 0 {
+		if cfg.ErrorRate > 0 {
+			// Erroneous instances are distinct with near certainty.
+			cfg.DistinctRatio = 1 - bella.ProbKmerCorrect(cfg.ErrorRate, cfg.K) + 0.05
+		} else {
+			cfg.DistinctRatio = 0.75
+		}
+	}
+	if cfg.HLLPrecision == 0 {
+		cfg.HLLPrecision = 12
+	}
+	return nil
+}
+
+// StageStats is the per-rank accounting of one pipeline stage, split the
+// way the paper's Fig. 4 splits efficiency: packing (send-buffer
+// construction), local processing, and exchange.
+type StageStats struct {
+	Rounds        int
+	KmersParsed   int64
+	KmersReceived int64
+	BytesPacked   int64
+	stats.Breakdown
+}
+
+// BuildStats reports both construction stages plus sizing diagnostics.
+type BuildStats struct {
+	Bloom            StageStats
+	Hash             StageStats
+	BloomBits        uint64
+	DistinctEstimate float64
+	TableEntries     int // keys resident after the Bloom pass
+	Retained         int // keys surviving the prune
+	PrunedSingleton  int // Bloom false positives removed
+	PrunedHighFreq   int // repeat k-mers removed (count > m)
+}
+
+// pricer converts counted operations into virtual time on c's clock; a nil
+// model prices everything at zero (wall time is still measured).
+type pricer struct {
+	c     *spmd.Comm
+	model *machine.Model
+}
+
+func (p pricer) tick(ops, rate, workingSet float64) float64 {
+	if p.model == nil || ops <= 0 {
+		return 0
+	}
+	d := p.model.ComputeTime(ops, rate, workingSet)
+	p.c.Tick(d)
+	return d
+}
+
+// Build constructs this rank's hash-table partition from its local reads,
+// running both passes. All ranks must call it collectively.
+func Build(c *spmd.Comm, model *machine.Model, reads LocalReads, cfg Config) (*Partition, BuildStats, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, BuildStats{}, err
+	}
+	pr := pricer{c: c, model: model}
+	stats := BuildStats{}
+
+	// Agree on the global round count.
+	localKmers := int64(0)
+	for _, s := range reads.Seqs {
+		localKmers += int64(kmer.Count(len(s), cfg.K))
+	}
+	rounds := int(spmd.AllreduceI64(c,
+		(localKmers+int64(cfg.MaxKmersPerRound)-1)/int64(cfg.MaxKmersPerRound),
+		spmd.OpMax))
+	globalBag := spmd.AllreduceI64(c, localKmers, spmd.OpSum)
+
+	// Size the Bloom filter.
+	if cfg.UseHLL {
+		stats.DistinctEstimate = estimateWithHLL(c, pr, reads, cfg)
+	} else {
+		stats.DistinctEstimate = float64(globalBag) * cfg.DistinctRatio
+	}
+	perRank := uint64(stats.DistinctEstimate/float64(c.Size())*1.1) + 64
+	filter := bloom.NewWithEstimate(perRank, cfg.BloomFP)
+	stats.BloomBits = filter.NumBits()
+
+	part := &Partition{K: cfg.K, MaxFreq: cfg.MaxFreq, Table: make(map[kmer.Kmer]*Entry)}
+
+	// Pass 1: Bloom filter construction.
+	stats.Bloom = bloomPass(c, pr, reads, cfg, rounds, filter, part)
+	stats.TableEntries = len(part.Table)
+	// The paper frees the Bloom filter here; dropping the reference is the
+	// Go equivalent.
+	filter = nil
+	_ = filter
+
+	// Pass 2: occurrence accumulation and pruning.
+	stats.Hash = hashPass(c, pr, reads, cfg, rounds, part)
+	t0 := time.Now()
+	prunedS, prunedH := prune(part)
+	stats.Hash.LocalVirtual += pr.tick(float64(stats.TableEntries),
+		machine.RateHTPrune, float64(stats.TableEntries)*64)
+	stats.Hash.LocalWall += time.Since(t0)
+	stats.PrunedSingleton, stats.PrunedHighFreq = prunedS, prunedH
+	stats.Retained = len(part.Table)
+	return part, stats, nil
+}
+
+// estimateWithHLL runs the optional HyperLogLog cardinality pass.
+func estimateWithHLL(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config) float64 {
+	sk := hll.New(cfg.HLLPrecision)
+	n := int64(0)
+	for i, seq := range reads.Seqs {
+		sc := kmer.NewScanner(seq, cfg.K, reads.IDStart+uint32(i))
+		for {
+			ex, ok := sc.Next()
+			if !ok {
+				break
+			}
+			sk.Add(ex.Kmer.Hash())
+			n++
+		}
+	}
+	pr.tick(float64(n), machine.RateParse, float64(sk.SizeBytes()))
+	merged := spmd.MaxReduceRegisters(c, sk.Registers())
+	if err := sk.SetRegisters(merged); err != nil {
+		panic(err) // same precision by construction
+	}
+	return sk.Estimate()
+}
+
+// stream walks a rank's reads emitting k-mers (or minimizers) in batches
+// across rounds.
+type stream struct {
+	reads LocalReads
+	k     int
+	w     int // minimizer window; <=1 streams every k-mer
+	idx   int
+	sc    *kmer.Scanner
+	mins  []kmer.Extracted // current read's minimizers (w > 1)
+	mIdx  int
+}
+
+func newStream(reads LocalReads, k, w int) *stream {
+	return &stream{reads: reads, k: k, w: w}
+}
+
+// next returns the next extracted k-mer, ok=false at end of all reads.
+func (s *stream) next() (kmer.Extracted, bool) {
+	if s.w > 1 {
+		for {
+			if s.mIdx < len(s.mins) {
+				ex := s.mins[s.mIdx]
+				s.mIdx++
+				return ex, true
+			}
+			if s.idx >= len(s.reads.Seqs) {
+				return kmer.Extracted{}, false
+			}
+			s.mins = kmer.Minimizers(s.reads.Seqs[s.idx], s.k, s.w,
+				s.reads.IDStart+uint32(s.idx))
+			s.mIdx = 0
+			s.idx++
+		}
+	}
+	for {
+		if s.sc == nil {
+			if s.idx >= len(s.reads.Seqs) {
+				return kmer.Extracted{}, false
+			}
+			s.sc = kmer.NewScanner(s.reads.Seqs[s.idx], s.k, s.reads.IDStart+uint32(s.idx))
+			s.idx++
+		}
+		ex, ok := s.sc.Next()
+		if ok {
+			return ex, true
+		}
+		s.sc = nil
+	}
+}
+
+// bloomPass streams k-mer keys to their owners and populates the Bloom
+// filter, seeding the table with keys seen (probably) more than once.
+func bloomPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int,
+	filter *bloom.Filter, part *Partition) StageStats {
+
+	st := StageStats{Rounds: rounds}
+	p := c.Size()
+	str := newStream(reads, cfg.K, cfg.MinimizerWindow)
+	ws := func() float64 {
+		return float64(filter.SizeBytes()) + float64(len(part.Table))*48
+	}
+	for round := 0; round < rounds; round++ {
+		// Parse + pack.
+		t0 := time.Now()
+		send := make([][]kmer.Kmer, p)
+		parsed := int64(0)
+		for parsed < int64(cfg.MaxKmersPerRound) {
+			ex, ok := str.next()
+			if !ok {
+				break
+			}
+			send[ex.Kmer.Owner(p)] = append(send[ex.Kmer.Owner(p)], ex.Kmer)
+			parsed++
+		}
+		st.KmersParsed += parsed
+		st.LocalVirtual += pr.tick(float64(parsed), machine.RateParse, ws())
+		st.LocalWall += time.Since(t0)
+		t0 = time.Now()
+		st.BytesPacked += parsed * 8
+		st.PackVirtual += pr.tick(float64(parsed*8), machine.RatePack, ws())
+		st.PackWall += time.Since(t0)
+
+		// Exchange.
+		t0 = time.Now()
+		pre := c.Stats()
+		recv := spmd.Alltoallv(c, send)
+		post := c.Stats()
+		st.ExchangeVirtual += post.ExchangeVirtual - pre.ExchangeVirtual
+		st.ExchangeWall += time.Since(t0)
+
+		// Insert into the local Bloom partition.
+		t0 = time.Now()
+		received := int64(0)
+		for _, batch := range recv {
+			for _, km := range batch {
+				if filter.InsertAndTest(km.Hash()) {
+					if _, ok := part.Table[km]; !ok {
+						part.Table[km] = &Entry{}
+					}
+				}
+				received++
+			}
+		}
+		st.KmersReceived += received
+		st.LocalVirtual += pr.tick(float64(received), machine.RateBloomInsert, ws())
+		st.LocalWall += time.Since(t0)
+	}
+	return st
+}
+
+// occMsg is the pass-2 wire record: 16 bytes per occurrence.
+type occMsg struct {
+	Km kmer.Kmer
+	O  Occ
+}
+
+// hashPass streams occurrences to owners, accumulating counts and
+// locations for resident keys.
+func hashPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int,
+	part *Partition) StageStats {
+
+	st := StageStats{Rounds: rounds}
+	p := c.Size()
+	str := newStream(reads, cfg.K, cfg.MinimizerWindow)
+	ws := func() float64 { return float64(len(part.Table)) * 64 }
+	for round := 0; round < rounds; round++ {
+		t0 := time.Now()
+		send := make([][]occMsg, p)
+		parsed := int64(0)
+		for parsed < int64(cfg.MaxKmersPerRound) {
+			ex, ok := str.next()
+			if !ok {
+				break
+			}
+			msg := occMsg{Km: ex.Kmer, O: MakeOcc(ex.Occ.ReadID, ex.Occ.Pos, ex.Occ.Forward)}
+			send[ex.Kmer.Owner(p)] = append(send[ex.Kmer.Owner(p)], msg)
+			parsed++
+		}
+		st.KmersParsed += parsed
+		st.LocalVirtual += pr.tick(float64(parsed), machine.RateParse, ws())
+		st.LocalWall += time.Since(t0)
+		t0 = time.Now()
+		st.BytesPacked += parsed * 16
+		st.PackVirtual += pr.tick(float64(parsed*16), machine.RatePack, ws())
+		st.PackWall += time.Since(t0)
+
+		t0 = time.Now()
+		pre := c.Stats()
+		recv := spmd.Alltoallv(c, send)
+		post := c.Stats()
+		st.ExchangeVirtual += post.ExchangeVirtual - pre.ExchangeVirtual
+		st.ExchangeWall += time.Since(t0)
+
+		t0 = time.Now()
+		received := int64(0)
+		for _, batch := range recv {
+			for _, msg := range batch {
+				if e, ok := part.Table[msg.Km]; ok {
+					e.Count++
+					// Occurrences beyond the cutoff cannot survive the
+					// prune; stop storing them (counting continues).
+					if int(e.Count) <= part.MaxFreq {
+						e.Occs = append(e.Occs, msg.O)
+					}
+				}
+				received++
+			}
+		}
+		st.KmersReceived += received
+		st.LocalVirtual += pr.tick(float64(received), machine.RateHTInsert, ws())
+		st.LocalWall += time.Since(t0)
+	}
+	return st
+}
+
+// prune removes false-positive singletons and high-frequency k-mers,
+// returning how many of each were dropped.
+func prune(part *Partition) (singletons, highFreq int) {
+	for km, e := range part.Table {
+		switch {
+		case e.Count < 2:
+			delete(part.Table, km)
+			singletons++
+		case int(e.Count) > part.MaxFreq:
+			delete(part.Table, km)
+			highFreq++
+		}
+	}
+	return
+}

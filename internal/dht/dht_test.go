@@ -1,0 +1,404 @@
+package dht
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dibella/internal/fastq"
+	"dibella/internal/kmer"
+	"dibella/internal/machine"
+	"dibella/internal/seqgen"
+	"dibella/internal/spmd"
+	"dibella/internal/stats"
+)
+
+func TestOccPacking(t *testing.T) {
+	o := MakeOcc(12345, 67890, true)
+	if o.Read != 12345 || o.Pos() != 67890 || !o.Forward() {
+		t.Errorf("occ = %+v pos=%d fwd=%v", o, o.Pos(), o.Forward())
+	}
+	o2 := MakeOcc(1, 0, false)
+	if o2.Pos() != 0 || o2.Forward() {
+		t.Errorf("occ2 pos=%d fwd=%v", o2.Pos(), o2.Forward())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{K: 0, MaxFreq: 8},
+		{K: 40, MaxFreq: 8},
+		{K: 17, MaxFreq: 1},
+		{K: 17, MaxFreq: 8, BloomFP: 1.5},
+	}
+	for i, cfg := range bad {
+		err := spmd.Run(1, func(c *spmd.Comm) error {
+			_, _, err := Build(c, nil, LocalReads{}, cfg)
+			return err
+		})
+		if err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// naiveRetained computes the ground-truth retained k-mer map sequentially.
+func naiveRetained(seqs [][]byte, k, maxFreq int) map[kmer.Kmer][]Occ {
+	counts := make(map[kmer.Kmer][]Occ)
+	for id, s := range seqs {
+		for _, ex := range kmer.ExtractAll(s, k, uint32(id)) {
+			counts[ex.Kmer] = append(counts[ex.Kmer],
+				MakeOcc(ex.Occ.ReadID, ex.Occ.Pos, ex.Occ.Forward))
+		}
+	}
+	for km, occs := range counts {
+		if len(occs) < 2 || len(occs) > maxFreq {
+			delete(counts, km)
+		}
+	}
+	return counts
+}
+
+// buildDistributed runs Build over p ranks on a block-distributed read set
+// and merges the partitions for verification.
+func buildDistributed(t *testing.T, seqs [][]byte, p, k, maxFreq int, cfg Config) (map[kmer.Kmer][]Occ, []BuildStats) {
+	t.Helper()
+	recs := make([]*fastq.Record, len(seqs))
+	for i, s := range seqs {
+		recs[i] = &fastq.Record{Name: fmt.Sprintf("r%d", i), Seq: s}
+	}
+	store := fastq.NewReadStore(recs, p)
+	cfg.K = k
+	cfg.MaxFreq = maxFreq
+
+	var mu sync.Mutex
+	merged := make(map[kmer.Kmer][]Occ)
+	allStats := make([]BuildStats, p)
+	err := spmd.Run(p, func(c *spmd.Comm) error {
+		start, end := store.LocalIDs(c.Rank())
+		local := LocalReads{IDStart: start}
+		for id := start; id < end; id++ {
+			local.Seqs = append(local.Seqs, store.Seq(id))
+		}
+		part, stats, err := Build(c, nil, local, cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		allStats[c.Rank()] = stats
+		part.ForEach(func(km kmer.Kmer, occs []Occ) {
+			if _, dup := merged[km]; dup {
+				t.Errorf("k-mer %v present in two partitions", km)
+			}
+			merged[km] = occs
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged, allStats
+}
+
+func randReads(rng *rand.Rand, n, minLen, maxLen int) [][]byte {
+	seqs := make([][]byte, n)
+	for i := range seqs {
+		l := minLen + rng.Intn(maxLen-minLen+1)
+		s := make([]byte, l)
+		for j := range s {
+			s[j] = "ACGT"[rng.Intn(4)]
+		}
+		seqs[i] = s
+	}
+	return seqs
+}
+
+func TestBuildMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Overlapping reads from a common template guarantee shared k-mers.
+	template := randReads(rng, 1, 3000, 3000)[0]
+	var seqs [][]byte
+	for i := 0; i+400 <= len(template); i += 150 {
+		seqs = append(seqs, template[i:i+400])
+	}
+	seqs = append(seqs, randReads(rng, 5, 200, 600)...)
+
+	const k, m = 17, 8
+	want := naiveRetained(seqs, k, m)
+	if len(want) == 0 {
+		t.Fatal("test data produced no retained k-mers")
+	}
+	for _, p := range []int{1, 2, 5} {
+		got, _ := buildDistributed(t, seqs, p, k, m, Config{})
+		if len(got) != len(want) {
+			t.Fatalf("p=%d: %d retained k-mers, want %d", p, len(got), len(want))
+		}
+		for km, wocc := range want {
+			gocc, ok := got[km]
+			if !ok {
+				t.Fatalf("p=%d: k-mer %q missing", p, km.Bytes(k))
+			}
+			if len(gocc) != len(wocc) {
+				t.Fatalf("p=%d: k-mer %q has %d occs, want %d", p, km.Bytes(k), len(gocc), len(wocc))
+			}
+			// Occurrence multisets must match (order may differ).
+			seen := make(map[Occ]int)
+			for _, o := range gocc {
+				seen[o]++
+			}
+			for _, o := range wocc {
+				seen[o]--
+				if seen[o] < 0 {
+					t.Fatalf("p=%d: unexpected occurrence %+v", p, o)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildWithHLLSizing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	template := randReads(rng, 1, 2000, 2000)[0]
+	var seqs [][]byte
+	for i := 0; i+300 <= len(template); i += 120 {
+		seqs = append(seqs, template[i:i+300])
+	}
+	const k, m = 15, 8
+	want := naiveRetained(seqs, k, m)
+	got, stats := buildDistributed(t, seqs, 3, k, m, Config{UseHLL: true})
+	if len(got) != len(want) {
+		t.Fatalf("HLL sizing changed results: %d vs %d", len(got), len(want))
+	}
+	if stats[0].DistinctEstimate <= 0 {
+		t.Error("no HLL estimate recorded")
+	}
+	// The HLL estimate should be within 25% of the true distinct count.
+	distinct := make(map[kmer.Kmer]bool)
+	for id, s := range seqs {
+		for _, ex := range kmer.ExtractAll(s, k, uint32(id)) {
+			distinct[ex.Kmer] = true
+		}
+	}
+	ratio := stats[0].DistinctEstimate / float64(len(distinct))
+	if ratio < 0.75 || ratio > 1.25 {
+		t.Errorf("HLL estimate off: %.0f vs %d true", stats[0].DistinctEstimate, len(distinct))
+	}
+}
+
+func TestHighFrequencyFiltering(t *testing.T) {
+	// A k-mer occurring more than m times must vanish.
+	rng := rand.New(rand.NewSource(3))
+	motif := randReads(rng, 1, 20, 20)[0]
+	var seqs [][]byte
+	for i := 0; i < 12; i++ {
+		pad := randReads(rng, 1, 50, 80)[0]
+		seqs = append(seqs, append(append([]byte{}, pad...), motif...))
+	}
+	const k = 17
+	const m = 6
+	got, stats := buildDistributed(t, seqs, 2, k, m, Config{})
+	for _, ex := range kmer.ExtractAll(motif, k, 0) {
+		if _, ok := got[ex.Kmer]; ok {
+			t.Errorf("high-frequency k-mer %q survived", ex.Kmer.Bytes(k))
+		}
+	}
+	totalHF := 0
+	for _, s := range stats {
+		totalHF += s.PrunedHighFreq
+	}
+	if totalHF == 0 {
+		t.Error("no high-frequency prunes recorded")
+	}
+}
+
+func TestSingletonElimination(t *testing.T) {
+	// Fully random disjoint reads: essentially everything is a singleton.
+	rng := rand.New(rand.NewSource(4))
+	seqs := randReads(rng, 20, 300, 500)
+	got, stats := buildDistributed(t, seqs, 2, 21, 8, Config{})
+	want := naiveRetained(seqs, 21, 8)
+	if len(got) != len(want) {
+		t.Fatalf("retained %d, want %d", len(got), len(want))
+	}
+	// The Bloom pass must have kept the table tiny relative to the bag.
+	var parsed int64
+	var entries int
+	for _, s := range stats {
+		parsed += s.Bloom.KmersParsed
+		entries += s.TableEntries
+	}
+	if entries > int(parsed)/4 {
+		t.Errorf("bloom pass admitted %d of %d k-mers", entries, parsed)
+	}
+}
+
+func TestStreamingRoundsMatchSingleRound(t *testing.T) {
+	// Tiny MaxKmersPerRound forces many exchange rounds; results must not
+	// change.
+	rng := rand.New(rand.NewSource(5))
+	template := randReads(rng, 1, 1500, 1500)[0]
+	var seqs [][]byte
+	for i := 0; i+250 <= len(template); i += 100 {
+		seqs = append(seqs, template[i:i+250])
+	}
+	const k, m = 13, 10
+	oneRound, statsA := buildDistributed(t, seqs, 3, k, m, Config{MaxKmersPerRound: 1 << 20})
+	manyRounds, statsB := buildDistributed(t, seqs, 3, k, m, Config{MaxKmersPerRound: 64})
+	if statsB[0].Bloom.Rounds <= statsA[0].Bloom.Rounds {
+		t.Fatalf("expected more rounds: %d vs %d", statsB[0].Bloom.Rounds, statsA[0].Bloom.Rounds)
+	}
+	if len(oneRound) != len(manyRounds) {
+		t.Fatalf("round slicing changed results: %d vs %d", len(oneRound), len(manyRounds))
+	}
+	for km := range oneRound {
+		if _, ok := manyRounds[km]; !ok {
+			t.Fatalf("k-mer lost under streaming")
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	got, _ := buildDistributed(t, nil, 3, 17, 8, Config{})
+	if len(got) != 0 {
+		t.Errorf("empty input retained %d k-mers", len(got))
+	}
+}
+
+func TestReadsShorterThanK(t *testing.T) {
+	seqs := [][]byte{[]byte("ACGT"), []byte("GGG")}
+	got, _ := buildDistributed(t, seqs, 2, 17, 8, Config{})
+	if len(got) != 0 {
+		t.Errorf("short reads retained %d k-mers", len(got))
+	}
+}
+
+func TestOccurrenceCapAtMaxFreq(t *testing.T) {
+	// Entries stop growing their occurrence lists past m+1 even though
+	// counting continues (memory bound).
+	rng := rand.New(rand.NewSource(6))
+	motif := randReads(rng, 1, 30, 30)[0]
+	var seqs [][]byte
+	for i := 0; i < 20; i++ {
+		seqs = append(seqs, append(append([]byte{}, randReads(rng, 1, 40, 60)[0]...), motif...))
+	}
+	recs := make([]*fastq.Record, len(seqs))
+	for i, s := range seqs {
+		recs[i] = &fastq.Record{Seq: s}
+	}
+	err := spmd.Run(1, func(c *spmd.Comm) error {
+		local := LocalReads{IDStart: 0, Seqs: seqs}
+		part := &Partition{}
+		cfg := Config{K: 17, MaxFreq: 5}
+		var stats BuildStats
+		var e error
+		part, stats, e = Build(c, nil, local, cfg)
+		if e != nil {
+			return e
+		}
+		_ = stats
+		part.ForEach(func(km kmer.Kmer, occs []Occ) {
+			if len(occs) > 5 {
+				t.Errorf("occurrence list of length %d exceeds m", len(occs))
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildWithModelProducesVirtualTime(t *testing.T) {
+	ds, err := seqgen.Generate(seqgen.Config{
+		GenomeLen: 8000, Seed: 7, Coverage: 12, MeanReadLen: 800,
+		MinReadLen: 200, ErrorRate: 0.1, BothStrands: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := fastq.NewReadStore(ds.Reads, 4)
+	mdl, err := machine.NewModel(machine.Cori, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = spmd.RunWithModel(4, mdl, func(c *spmd.Comm) error {
+		start, end := store.LocalIDs(c.Rank())
+		local := LocalReads{IDStart: start}
+		for id := start; id < end; id++ {
+			local.Seqs = append(local.Seqs, store.Seq(id))
+		}
+		_, stats, err := Build(c, mdl, local, Config{K: 17, MaxFreq: 10, ErrorRate: 0.1})
+		if err != nil {
+			return err
+		}
+		if stats.Bloom.LocalVirtual <= 0 || stats.Bloom.ExchangeVirtual <= 0 {
+			return fmt.Errorf("bloom stage virtual times not recorded: %+v", stats.Bloom)
+		}
+		if stats.Hash.LocalVirtual <= 0 || stats.Hash.PackVirtual <= 0 {
+			return fmt.Errorf("hash stage virtual times not recorded: %+v", stats.Hash)
+		}
+		if c.Now() <= 0 {
+			return fmt.Errorf("virtual clock did not advance")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// naiveMinimizerRetained is naiveRetained over the minimizer stream.
+func naiveMinimizerRetained(seqs [][]byte, k, w, maxFreq int) map[kmer.Kmer][]Occ {
+	counts := make(map[kmer.Kmer][]Occ)
+	for id, s := range seqs {
+		for _, ex := range kmer.Minimizers(s, k, w, uint32(id)) {
+			counts[ex.Kmer] = append(counts[ex.Kmer],
+				MakeOcc(ex.Occ.ReadID, ex.Occ.Pos, ex.Occ.Forward))
+		}
+	}
+	for km, occs := range counts {
+		if len(occs) < 2 || len(occs) > maxFreq {
+			delete(counts, km)
+		}
+	}
+	return counts
+}
+
+func TestBuildWithMinimizersMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	template := randReads(rng, 1, 2500, 2500)[0]
+	var seqs [][]byte
+	for i := 0; i+400 <= len(template); i += 150 {
+		seqs = append(seqs, template[i:i+400])
+	}
+	const k, w, m = 15, 8, 12
+	want := naiveMinimizerRetained(seqs, k, w, m)
+	if len(want) == 0 {
+		t.Fatal("no retained minimizers in test data")
+	}
+	got, _ := buildDistributed(t, seqs, 3, k, m, Config{MinimizerWindow: w})
+	if len(got) != len(want) {
+		t.Fatalf("retained %d minimizer k-mers, want %d", len(got), len(want))
+	}
+	for km, wocc := range want {
+		if len(got[km]) != len(wocc) {
+			t.Fatalf("k-mer %q occurrence count %d, want %d",
+				km.Bytes(k), len(got[km]), len(wocc))
+		}
+	}
+	// Volume reduction sanity: the minimizer table is far smaller than the
+	// full-k-mer table.
+	full, _ := buildDistributed(t, seqs, 3, k, m, Config{})
+	if len(got)*2 > len(full) {
+		t.Errorf("minimizers retained %d of %d full k-mers", len(got), len(full))
+	}
+}
+
+func TestStageStatsTotals(t *testing.T) {
+	s := StageStats{Breakdown: stats.Breakdown{PackVirtual: 1, LocalVirtual: 2, ExchangeVirtual: 3}}
+	if s.TotalVirtual() != 6 {
+		t.Errorf("TotalVirtual = %v", s.TotalVirtual())
+	}
+}

@@ -1,0 +1,438 @@
+// Package fastq reads and writes FASTQ and FASTA files and provides the
+// record-boundary-aligned byte-range partitioning that diBELLA's parallel
+// I/O uses to hand each rank a near-equal share of the input reads.
+//
+// The paper's input files are PacBio FASTQ (266 MB and 929 MB); reads carry
+// no locality with respect to genome position, so a plain byte-range split
+// already yields a near-uniform distribution of bases per rank.
+package fastq
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Record is a single sequencing read. Qual is empty for FASTA input.
+type Record struct {
+	Name string
+	Seq  []byte
+	Qual []byte
+}
+
+// Len returns the number of bases in the read.
+func (r *Record) Len() int { return len(r.Seq) }
+
+// Reader parses FASTQ or FASTA records from an input stream, detecting the
+// format from the first record marker ('@' vs '>').
+type Reader struct {
+	br     *bufio.Reader
+	fasta  bool
+	peeked bool
+	nRec   int
+}
+
+// NewReader wraps r in a Record parser.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next record or io.EOF.
+func (r *Reader) Next() (*Record, error) {
+	if !r.peeked {
+		if err := r.detect(); err != nil {
+			return nil, err
+		}
+	}
+	if r.fasta {
+		return r.nextFasta()
+	}
+	return r.nextFastq()
+}
+
+func (r *Reader) detect() error {
+	for {
+		b, err := r.br.Peek(1)
+		if err != nil {
+			return err
+		}
+		switch b[0] {
+		case '@':
+			r.fasta = false
+			r.peeked = true
+			return nil
+		case '>':
+			r.fasta = true
+			r.peeked = true
+			return nil
+		case '\n', '\r':
+			if _, err := r.br.ReadByte(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("fastq: unrecognized record marker %q", b[0])
+		}
+	}
+}
+
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadBytes('\n')
+	if len(line) == 0 && err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(line, "\r\n"), nil
+}
+
+func (r *Reader) nextFastq() (*Record, error) {
+	header, err := r.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if len(header) == 0 || header[0] != '@' {
+		return nil, fmt.Errorf("fastq: record %d: malformed header %q", r.nRec, header)
+	}
+	seq, err := r.readLine()
+	if err != nil {
+		return nil, fmt.Errorf("fastq: record %d: truncated sequence: %w", r.nRec, err)
+	}
+	plus, err := r.readLine()
+	if err != nil || len(plus) == 0 || plus[0] != '+' {
+		return nil, fmt.Errorf("fastq: record %d: missing '+' separator", r.nRec)
+	}
+	qual, err := r.readLine()
+	if err != nil {
+		return nil, fmt.Errorf("fastq: record %d: truncated quality: %w", r.nRec, err)
+	}
+	if len(qual) != len(seq) {
+		return nil, fmt.Errorf("fastq: record %d: quality length %d != sequence length %d",
+			r.nRec, len(qual), len(seq))
+	}
+	r.nRec++
+	return &Record{Name: nameOf(header[1:]), Seq: seq, Qual: qual}, nil
+}
+
+func (r *Reader) nextFasta() (*Record, error) {
+	header, err := r.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if len(header) == 0 || header[0] != '>' {
+		return nil, fmt.Errorf("fastq: record %d: malformed FASTA header %q", r.nRec, header)
+	}
+	var seq []byte
+	for {
+		b, err := r.br.Peek(1)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if b[0] == '>' {
+			break
+		}
+		line, err := r.readLine()
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, line...)
+	}
+	r.nRec++
+	return &Record{Name: nameOf(header[1:]), Seq: seq}, nil
+}
+
+// nameOf trims a header to the first whitespace-delimited token.
+func nameOf(h []byte) string {
+	if i := bytes.IndexAny(h, " \t"); i >= 0 {
+		h = h[:i]
+	}
+	return string(h)
+}
+
+// ReadAll parses every record from r.
+func ReadAll(r io.Reader) ([]*Record, error) {
+	fr := NewReader(r)
+	var recs []*Record
+	for {
+		rec, err := fr.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// ReadFile parses every record from a FASTQ or FASTA file; files ending
+// in .gz are decompressed transparently (public read sets ship gzipped).
+func ReadFile(path string) ([]*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("fastq: %s: %w", path, err)
+		}
+		defer zr.Close()
+		return ReadAll(zr)
+	}
+	return ReadAll(f)
+}
+
+// Write emits records in FASTQ format (records lacking qualities get a
+// constant placeholder quality, as real PacBio FASTQ always carries one).
+func Write(w io.Writer, recs []*Record) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, rec := range recs {
+		qual := rec.Qual
+		if len(qual) != len(rec.Seq) {
+			qual = bytes.Repeat([]byte{'!'}, len(rec.Seq))
+		}
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", rec.Name, rec.Seq, qual); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes records to path in FASTQ format, gzip-compressed when
+// the path ends in .gz.
+func WriteFile(path string, recs []*Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		if err := Write(zw, recs); err != nil {
+			zw.Close()
+			f.Close()
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := Write(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteFasta emits records in FASTA format.
+func WriteFasta(w io.Writer, recs []*Record) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n%s\n", rec.Name, rec.Seq); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Partition splits n records into p contiguous shards whose sizes differ by
+// at most one, returning half-open index ranges. It mirrors the paper's
+// block distribution of reads across ranks.
+func Partition(n, p int) [][2]int {
+	if p <= 0 {
+		panic("fastq: non-positive partition count")
+	}
+	ranges := make([][2]int, p)
+	base, rem := n/p, n%p
+	start := 0
+	for i := 0; i < p; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		ranges[i] = [2]int{start, start + sz}
+		start += sz
+	}
+	return ranges
+}
+
+// PartitionByBytes splits records into p shards balanced by total sequence
+// bytes rather than record count (greedy prefix split). The paper
+// partitions reads "as uniformly as possible ... by the read size in
+// memory"; with long-read length variance this differs measurably from a
+// count split.
+func PartitionByBytes(recs []*Record, p int) [][2]int {
+	if p <= 0 {
+		panic("fastq: non-positive partition count")
+	}
+	total := 0
+	for _, r := range recs {
+		total += r.Len()
+	}
+	ranges := make([][2]int, p)
+	start := 0
+	acc := 0
+	for i := 0; i < p; i++ {
+		target := (total*(i+1) + p - 1) / p
+		end := start
+		for end < len(recs) && (acc < target || i == p-1) {
+			acc += recs[end].Len()
+			end++
+		}
+		ranges[i] = [2]int{start, end}
+		start = end
+	}
+	ranges[p-1][1] = len(recs)
+	return ranges
+}
+
+// SplitOffsets computes p byte offsets into a FASTQ file such that each
+// offset lands on a record boundary ('@' header line that is truly a record
+// start), emulating MPI-IO style cooperative reading where each rank seeks
+// to its share and scans forward to the first full record.
+func SplitOffsets(path string, p int) ([]int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	offsets := make([]int64, p+1)
+	offsets[p] = size
+	for i := 1; i < p; i++ {
+		guess := size * int64(i) / int64(p)
+		adj, err := nextRecordStart(f, guess, size)
+		if err != nil {
+			return nil, err
+		}
+		offsets[i] = adj
+	}
+	// Offsets must be monotone even for tiny files.
+	for i := 1; i <= p; i++ {
+		if offsets[i] < offsets[i-1] {
+			offsets[i] = offsets[i-1]
+		}
+	}
+	return offsets, nil
+}
+
+// nextRecordStart scans forward from off to the start of the next FASTQ
+// record. A line beginning with '@' is a record start only if it is either
+// preceded by a '+' separator two lines up... disambiguating '@' in quality
+// strings requires the 4-line record invariant: we accept a candidate '@'
+// line if the line after next is a '+' line.
+func nextRecordStart(f *os.File, off, size int64) (int64, error) {
+	if off <= 0 {
+		return 0, nil
+	}
+	if off >= size {
+		return size, nil
+	}
+	const window = 1 << 20
+	buf := make([]byte, min64(window, size-off))
+	if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+		return 0, err
+	}
+	// Align to the next line start.
+	i := bytes.IndexByte(buf, '\n')
+	if i < 0 {
+		return size, nil
+	}
+	i++
+	for i < len(buf) {
+		lineEnd := bytes.IndexByte(buf[i:], '\n')
+		if lineEnd < 0 {
+			break
+		}
+		if buf[i] == '@' {
+			// Check that line i+2 starts with '+'.
+			j := i + lineEnd + 1
+			if j < len(buf) {
+				if k := bytes.IndexByte(buf[j:], '\n'); k >= 0 {
+					l := j + k + 1
+					if l < len(buf) && buf[l] == '+' {
+						return off + int64(i), nil
+					}
+				}
+			}
+		}
+		i += lineEnd + 1
+	}
+	return size, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ReadRange parses the records fully contained in the byte range
+// [start,end) of a FASTQ file whose offsets came from SplitOffsets.
+func ReadRange(path string, start, end int64) ([]*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(start, io.SeekStart); err != nil {
+		return nil, err
+	}
+	lr := io.LimitReader(f, end-start)
+	return ReadAll(lr)
+}
+
+// Stats summarizes a read set the way the paper characterizes its inputs
+// (read count, total bases, mean length).
+type Stats struct {
+	Reads      int
+	TotalBases int64
+	MinLen     int
+	MaxLen     int
+}
+
+// MeanLen returns the average read length.
+func (s Stats) MeanLen() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.TotalBases) / float64(s.Reads)
+}
+
+// String formats the stats like the paper's data-set descriptions.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d reads, %d bases, mean length %.0f bp (min %d, max %d)",
+		s.Reads, s.TotalBases, s.MeanLen(), s.MinLen, s.MaxLen)
+	return b.String()
+}
+
+// Summarize computes Stats over a record set.
+func Summarize(recs []*Record) Stats {
+	s := Stats{}
+	for i, r := range recs {
+		n := r.Len()
+		s.Reads++
+		s.TotalBases += int64(n)
+		if i == 0 || n < s.MinLen {
+			s.MinLen = n
+		}
+		if n > s.MaxLen {
+			s.MaxLen = n
+		}
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package fastq
+
+import "fmt"
+
+// ReadStore holds a read set with global identifiers and the block
+// distribution map used across the pipeline: read IDs are assigned in file
+// order, and rank r owns the contiguous ID range Ranges[r].
+//
+// The alignment stage replicates non-local reads on demand; Replica storage
+// is kept separate so owned reads are never duplicated.
+type ReadStore struct {
+	Reads  []*Record // all reads, indexed by global ReadID (on a full store)
+	Ranges [][2]int  // per-rank [start,end) ID ranges
+}
+
+// NewReadStore block-distributes recs over p ranks balanced by sequence
+// bytes (the paper's layout) and assigns global IDs in file order.
+func NewReadStore(recs []*Record, p int) *ReadStore {
+	return &ReadStore{Reads: recs, Ranges: PartitionByBytes(recs, p)}
+}
+
+// NumReads returns the number of reads in the set.
+func (s *ReadStore) NumReads() int { return len(s.Reads) }
+
+// Owner returns the rank owning a read ID under the block distribution.
+func (s *ReadStore) Owner(id uint32) int {
+	// Binary search over the P range boundaries.
+	lo, hi := 0, len(s.Ranges)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(id) >= s.Ranges[mid][1] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LocalIDs returns the [start,end) global ID range owned by rank.
+func (s *ReadStore) LocalIDs(rank int) (start, end uint32) {
+	r := s.Ranges[rank]
+	return uint32(r[0]), uint32(r[1])
+}
+
+// Get returns the record for a global read ID.
+func (s *ReadStore) Get(id uint32) *Record {
+	if int(id) >= len(s.Reads) {
+		panic(fmt.Sprintf("fastq: read ID %d out of range (%d reads)", id, len(s.Reads)))
+	}
+	return s.Reads[id]
+}
+
+// Seq returns the sequence for a global read ID.
+func (s *ReadStore) Seq(id uint32) []byte { return s.Get(id).Seq }
+
+// LocalView is one rank's working set: its owned ID range plus any replicas
+// fetched for alignment.
+type LocalView struct {
+	store    *ReadStore
+	rank     int
+	start    uint32
+	end      uint32
+	replicas map[uint32][]byte
+}
+
+// View returns rank's local view of the store.
+func (s *ReadStore) View(rank int) *LocalView {
+	start, end := s.LocalIDs(rank)
+	return &LocalView{store: s, rank: rank, start: start, end: end,
+		replicas: make(map[uint32][]byte)}
+}
+
+// Owns reports whether the view's rank owns the read.
+func (v *LocalView) Owns(id uint32) bool { return id >= v.start && id < v.end }
+
+// Seq returns the sequence for id if it is local or replicated, else nil.
+func (v *LocalView) Seq(id uint32) []byte {
+	if v.Owns(id) {
+		return v.store.Seq(id)
+	}
+	return v.replicas[id]
+}
+
+// AddReplica stores a fetched copy of a remote read.
+func (v *LocalView) AddReplica(id uint32, seq []byte) { v.replicas[id] = seq }
+
+// OwnerOf returns the rank owning a read ID.
+func (v *LocalView) OwnerOf(id uint32) int { return v.store.Owner(id) }
+
+// OwnedSeq returns the sequence of a read this rank owns; it panics if the
+// read is remote (an ownership-protocol violation).
+func (v *LocalView) OwnedSeq(id uint32) []byte {
+	if !v.Owns(id) {
+		panic(fmt.Sprintf("fastq: rank %d does not own read %d", v.rank, id))
+	}
+	return v.store.Seq(id)
+}
+
+// ReplicaCount returns the number of replicated reads held.
+func (v *LocalView) ReplicaCount() int { return len(v.replicas) }
+
+// ReplicaBytes returns the memory consumed by replicas, the quantity the
+// paper's alignment-stage communication analysis bounds.
+func (v *LocalView) ReplicaBytes() int {
+	n := 0
+	for _, s := range v.replicas {
+		n += len(s)
+	}
+	return n
+}
+
+// LocalIDRange returns the owned [start, end) range.
+func (v *LocalView) LocalIDRange() (uint32, uint32) { return v.start, v.end }

@@ -1,0 +1,93 @@
+package fastq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func makeStore(n, p int, rng *rand.Rand) *ReadStore {
+	recs := make([]*Record, n)
+	for i := range recs {
+		recs[i] = &Record{Seq: make([]byte, rng.Intn(400)+100)}
+	}
+	return NewReadStore(recs, p)
+}
+
+func TestOwnerMatchesRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, p := range []int{1, 2, 4, 7} {
+		s := makeStore(123, p, rng)
+		for id := uint32(0); int(id) < s.NumReads(); id++ {
+			o := s.Owner(id)
+			start, end := s.LocalIDs(o)
+			if id < start || id >= end {
+				t.Fatalf("p=%d: Owner(%d)=%d but range is [%d,%d)", p, id, o, start, end)
+			}
+		}
+	}
+}
+
+// Property: every ID has exactly one owner and owners are monotone in ID.
+func TestOwnerMonotone(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		p := int(pRaw)%16 + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := makeStore(rng.Intn(100)+1, p, rng)
+		prev := 0
+		for id := 0; id < s.NumReads(); id++ {
+			o := s.Owner(uint32(id))
+			if o < prev || o >= p {
+				return false
+			}
+			prev = o
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalView(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := makeStore(40, 4, rng)
+	v := s.View(1)
+	start, end := v.LocalIDRange()
+	if start >= end {
+		t.Fatalf("empty local range [%d,%d)", start, end)
+	}
+	if !v.Owns(start) || v.Owns(end) {
+		t.Error("ownership boundary wrong")
+	}
+	if v.Seq(start) == nil {
+		t.Error("owned read should be accessible")
+	}
+	// A remote read is invisible until replicated.
+	var remote uint32
+	if start > 0 {
+		remote = 0
+	} else {
+		remote = end
+	}
+	if v.Seq(remote) != nil {
+		t.Error("remote read visible without replica")
+	}
+	v.AddReplica(remote, []byte("ACGT"))
+	if string(v.Seq(remote)) != "ACGT" {
+		t.Error("replica not returned")
+	}
+	if v.ReplicaCount() != 1 || v.ReplicaBytes() != 4 {
+		t.Errorf("replica accounting: count=%d bytes=%d", v.ReplicaCount(), v.ReplicaBytes())
+	}
+}
+
+func TestGetPanicsOutOfRange(t *testing.T) {
+	s := makeStore(3, 1, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get out of range did not panic")
+		}
+	}()
+	s.Get(3)
+}

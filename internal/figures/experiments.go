@@ -1,0 +1,390 @@
+package figures
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"dibella/internal/daligner"
+	"dibella/internal/fastq"
+	"dibella/internal/machine"
+	"dibella/internal/overlap"
+	"dibella/internal/pipeline"
+	"dibella/internal/seqgen"
+	"dibella/internal/stats"
+)
+
+// Table1 prints the evaluated-platform characteristics (the model inputs).
+func Table1(o *Options) (string, error) {
+	headers := []string{"platform", "cores/node", "GHz", "LLC MB", "mem GB",
+		"lat us", "BW/node MB/s", "1st-call x"}
+	var rows [][]string
+	for _, p := range machine.Platforms {
+		rows = append(rows, []string{
+			p.Name,
+			fmt.Sprintf("%d", p.CoresPerNode),
+			fmt.Sprintf("%.1f", p.FreqGHz),
+			fmt.Sprintf("%.0f", p.LLCBytes/1e6),
+			fmt.Sprintf("%.0f", p.MemBytes/1e9),
+			fmt.Sprintf("%.1f", p.InterLat*1e6),
+			fmt.Sprintf("%.1f", p.BWNode/1e6),
+			fmt.Sprintf("%.1f", p.FirstCallFactor),
+		})
+	}
+	return "Table 1: evaluated platforms (model parameters)\n" +
+		stats.FormatTable(headers, rows), nil
+}
+
+// Fig3 regenerates the Bloom-filter stage cross-architecture rates:
+// millions of k-mers processed per second vs. nodes.
+func Fig3(o *Options) (string, error) {
+	ms, err := o.Sweep30x()
+	if err != nil {
+		return "", err
+	}
+	series := seriesBy(ms, func(m RunMetrics) float64 {
+		return float64(m.BagKmers) / m.Stage[pipeline.StageBloom].Total / 1e6
+	})
+	return formatSeriesTable("Figure 3: Bloom Filter performance (E. coli 30x, one-seed)",
+		"M k-mers/sec", series), nil
+}
+
+// Fig4 regenerates the AWS Bloom-stage efficiency split: packing,
+// exchange, local processing, and overall efficiency relative to 1 node.
+func Fig4(o *Options) (string, error) {
+	ms, err := o.Sweep30x()
+	if err != nil {
+		return "", err
+	}
+	var aws []RunMetrics
+	for _, m := range ms {
+		if strings.HasPrefix(m.Platform, "AWS") {
+			aws = append(aws, m)
+		}
+	}
+	if len(aws) == 0 {
+		return "", fmt.Errorf("figures: no AWS runs in sweep")
+	}
+	sort.Slice(aws, func(i, j int) bool { return aws[i].Nodes < aws[j].Nodes })
+	base := aws[0]
+	headers := []string{"nodes", "packing eff", "exchanging eff", "local eff", "overall eff"}
+	var rows [][]string
+	for _, m := range aws {
+		n := m.Nodes
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.3f", stats.Efficiency(base.BloomPack, base.Nodes, m.BloomPack, n)),
+			fmt.Sprintf("%.3f", stats.Efficiency(base.BloomExchange, base.Nodes, m.BloomExchange, n)),
+			fmt.Sprintf("%.3f", stats.Efficiency(base.BloomLocal, base.Nodes, m.BloomLocal, n)),
+			fmt.Sprintf("%.3f", stats.Efficiency(base.Stage[pipeline.StageBloom].Total, base.Nodes,
+				m.Stage[pipeline.StageBloom].Total, n)),
+		})
+	}
+	return "Figure 4: Bloom Filter efficiency on AWS (E. coli 30x, one-seed)\n" +
+		stats.FormatTable(headers, rows), nil
+}
+
+// Fig5 regenerates the hash-table stage rates.
+func Fig5(o *Options) (string, error) {
+	ms, err := o.Sweep30x()
+	if err != nil {
+		return "", err
+	}
+	series := seriesBy(ms, func(m RunMetrics) float64 {
+		return float64(m.BagKmers) / m.Stage[pipeline.StageHash].Total / 1e6
+	})
+	return formatSeriesTable("Figure 5: Hash Table construction performance (E. coli 30x, one-seed)",
+		"M k-mers/sec", series), nil
+}
+
+// Fig6 regenerates the overlap-stage rates in millions of retained k-mers
+// per second.
+func Fig6(o *Options) (string, error) {
+	ms, err := o.Sweep30x()
+	if err != nil {
+		return "", err
+	}
+	series := seriesBy(ms, func(m RunMetrics) float64 {
+		return float64(m.Retained) / m.Stage[pipeline.StageOverlap].Total / 1e6
+	})
+	return formatSeriesTable("Figure 6: Overlap performance (E. coli 30x, one-seed)",
+		"M retained k-mers/sec", series), nil
+}
+
+// Fig7 regenerates the alignment-stage rates in millions of alignments per
+// second.
+func Fig7(o *Options) (string, error) {
+	ms, err := o.Sweep30x()
+	if err != nil {
+		return "", err
+	}
+	series := seriesBy(ms, func(m RunMetrics) float64 {
+		return float64(m.Alignments) / m.Stage[pipeline.StageAlign].Total / 1e6
+	})
+	return formatSeriesTable("Figure 7: Alignment performance (E. coli 30x, one-seed)",
+		"M alignments/sec", series), nil
+}
+
+// Fig8 regenerates the alignment-stage load imbalance (max/mean stage
+// time across ranks; 1.0 is perfect).
+func Fig8(o *Options) (string, error) {
+	ms, err := o.Sweep30x()
+	if err != nil {
+		return "", err
+	}
+	series := seriesBy(ms, func(m RunMetrics) float64 { return m.AlignImbalance })
+	out := formatSeriesTable("Figure 8: Alignment stage load imbalance (E. coli 30x, one-seed)",
+		"max/mean (1.0 = perfect)", series)
+	// The companion claim: task-count imbalance is near zero.
+	var worst float64
+	for _, m := range ms {
+		if m.TaskImbalance > worst {
+			worst = m.TaskImbalance
+		}
+	}
+	return out + fmt.Sprintf("worst task-count imbalance across runs: %.4f\n", worst), nil
+}
+
+// breakdown runs the Cori 1-rank-per-node breakdown of Figs. 9 and 10.
+func breakdown(o *Options, title string, coverage int, cfg pipeline.Config) (string, error) {
+	o.setDefaults()
+	var rds []*fastq.Record
+	var err error
+	if coverage == 100 {
+		rds, err = o.Reads100x()
+	} else {
+		rds, err = o.Reads30x()
+	}
+	if err != nil {
+		return "", err
+	}
+	headers := []string{"nodes", "BF%", "BF-exch%", "HT%", "HT-exch%",
+		"OV%", "OV-exch%", "AL%", "AL-exch%", "total s"}
+	var rows [][]string
+	for _, nodes := range o.NodeCounts {
+		// Figs. 9–10 use one MPI rank per node with 32 cores each; model
+		// that shape directly (one goroutine per node).
+		mdl, err := machine.NewModel(machine.Cori, nodes, 1)
+		if err != nil {
+			return "", err
+		}
+		rep, err := pipeline.Execute(nodes, mdl, rds, cfg)
+		if err != nil {
+			return "", err
+		}
+		o.logf("breakdown nodes=%d: %s", nodes, rep.Summary())
+		total := rep.TotalVirtual()
+		pct := func(v float64) string { return fmt.Sprintf("%.1f", v/total*100) }
+		row := []string{fmt.Sprintf("%d", nodes)}
+		for _, s := range pipeline.Stages {
+			t := rep.StageVirtual(s)
+			e := rep.StageExchangeVirtual(s)
+			row = append(row, pct(t-e), pct(e))
+		}
+		row = append(row, fmt.Sprintf("%.3f", total))
+		rows = append(rows, row)
+	}
+	return title + "\n" + stats.FormatTable(headers, rows), nil
+}
+
+// Fig9 regenerates the Cori runtime breakdown for E. coli 30x one-seed.
+func Fig9(o *Options) (string, error) {
+	return breakdown(o,
+		"Figure 9: Cori (XC40) runtime breakdown, E. coli 30x one-seed (1 rank/node)",
+		30, oneSeedConfig())
+}
+
+// Fig10 regenerates the Cori runtime breakdown for E. coli 100x with all
+// seeds at >= 1 Kbp separation.
+func Fig10(o *Options) (string, error) {
+	cfg := oneSeedConfig()
+	cfg.SeedMode = overlap.MinDistance
+	cfg.MinDist = 1000
+	cfg.Coverage = 100
+	return breakdown(o,
+		"Figure 10: Cori (XC40) runtime breakdown, E. coli 100x all seeds d=1K (1 rank/node)",
+		100, cfg)
+}
+
+// Fig11 regenerates the Cori overall-efficiency comparison across the six
+// workloads (30x/100x × one-seed, d=1K, d=k).
+func Fig11(o *Options) (string, error) {
+	o.setDefaults()
+	modes := []struct {
+		name string
+		mode overlap.SeedMode
+		dist int
+	}{
+		{"one-seed", overlap.OneSeed, 0},
+		{"d=1K", overlap.MinDistance, 1000},
+		{"d=k=17", overlap.AllSeeds, 0},
+	}
+	var series []stats.Series
+	for _, dataset := range []string{"E.coli 30x", "E.coli 100x"} {
+		reads, err := o.Reads30x()
+		if dataset == "E.coli 100x" {
+			reads, err = o.Reads100x()
+		}
+		if err != nil {
+			return "", err
+		}
+		for _, mo := range modes {
+			cfg := oneSeedConfig()
+			cfg.SeedMode = mo.mode
+			cfg.MinDist = mo.dist
+			if dataset == "E.coli 100x" {
+				cfg.Coverage = 100
+			}
+			s := stats.Series{Name: dataset + ", " + mo.name}
+			var base float64
+			for _, nodes := range o.NodeCounts {
+				p := o.simRanks(nodes)
+				mdl, err := machine.NewModelScaled(machine.Cori, nodes, p)
+				if err != nil {
+					return "", err
+				}
+				rep, err := pipeline.Execute(p, mdl, reads, cfg)
+				if err != nil {
+					return "", err
+				}
+				o.logf("fig11 %s nodes=%d: %s", s.Name, nodes, rep.Summary())
+				t := rep.TotalVirtual()
+				if nodes == o.NodeCounts[0] {
+					base = t
+				}
+				s.X = append(s.X, float64(nodes))
+				s.Y = append(s.Y, stats.Efficiency(base, o.NodeCounts[0], t, nodes))
+			}
+			series = append(series, s)
+		}
+	}
+	return formatSeriesTable("Figure 11: Overall efficiency on Cori (XC40), varying workloads",
+		"efficiency over smallest node count", series), nil
+}
+
+// Fig12 regenerates the cross-architecture overall (solid) and exchange
+// (dashed) efficiency curves.
+func Fig12(o *Options) (string, error) {
+	ms, err := o.Sweep30x()
+	if err != nil {
+		return "", err
+	}
+	base := make(map[string]RunMetrics)
+	for _, m := range ms {
+		if b, ok := base[m.Platform]; !ok || m.Nodes < b.Nodes {
+			base[m.Platform] = m
+		}
+	}
+	overall := seriesBy(ms, func(m RunMetrics) float64 {
+		b := base[m.Platform]
+		return stats.Efficiency(b.Total(), b.Nodes, m.Total(), m.Nodes)
+	})
+	exchange := seriesBy(ms, func(m RunMetrics) float64 {
+		b := base[m.Platform]
+		return stats.Efficiency(b.TotalExchange(), b.Nodes, m.TotalExchange(), m.Nodes)
+	})
+	for i := range exchange {
+		exchange[i].Name += " (exchange)"
+	}
+	return formatSeriesTable("Figure 12: diBELLA overall efficiency (E. coli 30x, one-seed)",
+		"efficiency over smallest node count", overall) + "\n" +
+		formatSeriesTable("Figure 12 (dashed): exchange efficiency",
+			"efficiency over smallest node count", exchange), nil
+}
+
+// Fig13 regenerates the overall cross-architecture performance in
+// millions of alignments per second.
+func Fig13(o *Options) (string, error) {
+	ms, err := o.Sweep30x()
+	if err != nil {
+		return "", err
+	}
+	series := seriesBy(ms, func(m RunMetrics) float64 {
+		return float64(m.Alignments) / m.Total() / 1e6
+	})
+	return formatSeriesTable("Figure 13: diBELLA overall performance (E. coli 30x, one-seed)",
+		"M alignments/sec", series), nil
+}
+
+// Table2 regenerates the single-node runtime comparison between diBELLA
+// and the DALIGNER-style baseline on three data sets (host-measured, I/O
+// excluded, like the paper's Table 2).
+func Table2(o *Options) (string, error) {
+	o.setDefaults()
+	datasets := []struct {
+		name string
+		cfg  seqgen.Config
+	}{
+		{"E.coli 30x (sample)", seqgen.EColi30xSample(o.Scale, o.Seed+2)},
+		{"E.coli 30x", seqgen.EColi30x(o.Scale, o.Seed)},
+		{"E.coli 100x", seqgen.EColi100x(o.Scale, o.Seed+1)},
+	}
+	threads := runtime.GOMAXPROCS(0)
+	headers := []string{"dataset", "diBELLA (s)", "baseline (s)", "ratio", "pairs agree"}
+	var rows [][]string
+	for _, d := range datasets {
+		ds, err := seqgen.Generate(d.cfg)
+		if err != nil {
+			return "", err
+		}
+		cfg := oneSeedConfig()
+		cfg.Coverage = d.cfg.Coverage
+		rep, err := pipeline.Execute(threads, nil, ds.Reads, cfg)
+		if err != nil {
+			return "", err
+		}
+		// The report carries the resolved parameters (m derived from
+		// coverage); the baseline must filter identically.
+		base, err := daligner.Run(ds.Reads, daligner.Config{
+			K: rep.Config.K, MaxFreq: rep.Config.MaxFreq, SeedMode: overlap.OneSeed,
+			XDrop: rep.Config.XDrop, Threads: threads,
+		})
+		if err != nil {
+			return "", err
+		}
+		o.logf("table2 %s: dibella=%v baseline=%v", d.name, rep.WallTime, base.Total())
+		rows = append(rows, []string{
+			d.name,
+			fmt.Sprintf("%.2f", rep.WallTime.Seconds()),
+			fmt.Sprintf("%.2f", base.Total().Seconds()),
+			fmt.Sprintf("%.2f", rep.WallTime.Seconds()/base.Total().Seconds()),
+			fmt.Sprintf("%v", rep.Pairs == base.Pairs),
+		})
+	}
+	return fmt.Sprintf("Table 2: single-node runtime comparison (%d threads, I/O excluded)\n", threads) +
+		stats.FormatTable(headers, rows), nil
+}
+
+// Experiments maps experiment IDs to their generators.
+var Experiments = map[string]func(*Options) (string, error){
+	"table1": Table1,
+	"table2": Table2,
+	"fig3":   Fig3,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+}
+
+// ExperimentIDs lists the experiment identifiers in presentation order.
+func ExperimentIDs() []string {
+	return []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+}
+
+// RunExperiment dispatches one experiment by ID.
+func RunExperiment(id string, o *Options) (string, error) {
+	fn, ok := Experiments[id]
+	if !ok {
+		return "", fmt.Errorf("figures: unknown experiment %q (have %s)",
+			id, strings.Join(ExperimentIDs(), ", "))
+	}
+	return fn(o)
+}

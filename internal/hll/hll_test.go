@@ -1,0 +1,165 @@
+package hll
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, p := range []uint8{0, 3, 19} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", p)
+				}
+			}()
+			New(p)
+		}()
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{100, 10000, 1000000} {
+		s := New(14)
+		for i := 0; i < n; i++ {
+			s.Add(rng.Uint64())
+		}
+		est := s.Estimate()
+		tol := 4 * s.RelativeError() // 4 sigma
+		if math.Abs(est-float64(n))/float64(n) > tol {
+			t.Errorf("n=%d: estimate %.0f off by more than %.1f%%", n, est, tol*100)
+		}
+	}
+}
+
+func TestEstimateSmallRange(t *testing.T) {
+	// Linear counting regime: very few elements.
+	s := New(12)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		s.Add(rng.Uint64())
+	}
+	est := s.Estimate()
+	if est < 5 || est > 20 {
+		t.Errorf("small-range estimate %.1f, want ~10", est)
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	s := New(12)
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	for rep := 0; rep < 50; rep++ {
+		for _, k := range keys {
+			s.Add(k)
+		}
+	}
+	est := s.Estimate()
+	if math.Abs(est-1000)/1000 > 0.15 {
+		t.Errorf("estimate with duplicates %.0f, want ~1000", est)
+	}
+}
+
+// Property: merging two sketches equals sketching the union stream.
+func TestMergeEqualsUnion(t *testing.T) {
+	f := func(seed1, seed2 int64) bool {
+		rngA := rand.New(rand.NewSource(seed1))
+		rngB := rand.New(rand.NewSource(seed2))
+		a, b, u := New(10), New(10), New(10)
+		for i := 0; i < 500; i++ {
+			ka, kb := rngA.Uint64(), rngB.Uint64()
+			a.Add(ka)
+			u.Add(ka)
+			b.Add(kb)
+			u.Add(kb)
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		return a.Estimate() == u.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergePrecisionMismatch(t *testing.T) {
+	a, b := New(10), New(12)
+	if err := a.Merge(b); err == nil {
+		t.Error("expected precision-mismatch error")
+	}
+}
+
+func TestRegistersRoundTrip(t *testing.T) {
+	a := New(8)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		a.Add(rng.Uint64())
+	}
+	b := New(8)
+	if err := b.SetRegisters(a.Registers()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != b.Estimate() {
+		t.Error("register transplant changed estimate")
+	}
+	if err := b.SetRegisters(make([]uint8, 3)); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := New(10)
+	if est := s.Estimate(); est != 0 {
+		t.Errorf("empty sketch estimate = %v, want 0", est)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if New(10).SizeBytes() != 1024 {
+		t.Error("SizeBytes mismatch")
+	}
+}
+
+// Distributed usage pattern: rank-local sketches merged via register max
+// must estimate the global distinct count.
+func TestDistributedMergePattern(t *testing.T) {
+	const ranks = 8
+	const perRank = 20000
+	global := New(14)
+	parts := make([]*Sketch, ranks)
+	rng := rand.New(rand.NewSource(7))
+	shared := rng.Uint64() // one key present on every rank
+	for r := range parts {
+		parts[r] = New(14)
+		parts[r].Add(shared)
+		global.Add(shared)
+		for i := 0; i < perRank; i++ {
+			k := rng.Uint64()
+			parts[r].Add(k)
+			global.Add(k)
+		}
+	}
+	merged := New(14)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Estimate() != global.Estimate() {
+		t.Errorf("merged %.0f != global %.0f", merged.Estimate(), global.Estimate())
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(14)
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}

@@ -1,0 +1,71 @@
+package kmer
+
+// Minimizer support: instead of shipping every k-mer, emit only each
+// window's minimum-hash k-mer (Roberts et al. 2004), the compaction
+// Minimap2 builds on (paper §11). Two reads sharing an exact run of at
+// least w+k-1 bases are guaranteed to share a minimizer, so overlap
+// detection still works while the k-mer volume exchanged through the
+// pipeline drops by roughly a factor of (w+1)/2.
+//
+// Ordering is by the k-mer's 64-bit hash rather than lexicographic rank,
+// which avoids the poly-A bias of literal ordering. Ties go to the
+// leftmost occurrence. Windows are over the stream of valid k-mers (runs
+// around non-ACGT bases are concatenated for windowing purposes).
+
+// Minimizers returns the (w,k)-minimizer occurrences of seq: for every
+// window of w consecutive canonical k-mers, the smallest-hash one,
+// deduplicated across overlapping windows. w <= 1 returns all k-mers.
+// Reads yielding fewer than w k-mers emit their single global minimizer,
+// so no read with at least one k-mer is left unrepresented.
+func Minimizers(seq []byte, k, w int, readID uint32) []Extracted {
+	kms := ExtractAll(seq, k, readID)
+	if len(kms) == 0 {
+		return nil
+	}
+	if w <= 1 {
+		return kms
+	}
+	if len(kms) < w {
+		best := 0
+		bestH := kms[0].Kmer.Hash()
+		for i := 1; i < len(kms); i++ {
+			if h := kms[i].Kmer.Hash(); h < bestH {
+				best, bestH = i, h
+			}
+		}
+		return []Extracted{kms[best]}
+	}
+	// Sliding-window minimum via a monotone deque of indices with
+	// non-decreasing hash front to back.
+	type cand struct {
+		i int
+		h uint64
+	}
+	dq := make([]cand, 0, w)
+	var out []Extracted
+	lastEmitted := -1
+	for i := 0; i < len(kms); i++ {
+		h := kms[i].Kmer.Hash()
+		for len(dq) > 0 && dq[len(dq)-1].h > h {
+			dq = dq[:len(dq)-1]
+		}
+		dq = append(dq, cand{i: i, h: h})
+		if dq[0].i <= i-w {
+			dq = dq[1:]
+		}
+		if i >= w-1 && dq[0].i != lastEmitted {
+			out = append(out, kms[dq[0].i])
+			lastEmitted = dq[0].i
+		}
+	}
+	return out
+}
+
+// MinimizerDensity returns the expected fraction of k-mers selected as
+// (w,k)-minimizers of a random sequence: 2/(w+1).
+func MinimizerDensity(w int) float64 {
+	if w <= 1 {
+		return 1
+	}
+	return 2 / float64(w+1)
+}

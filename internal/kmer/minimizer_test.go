@@ -1,0 +1,147 @@
+package kmer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMinimizers selects per-window minima by brute force.
+func naiveMinimizers(seq []byte, k, w int, readID uint32) []Extracted {
+	kms := ExtractAll(seq, k, readID)
+	if len(kms) == 0 {
+		return nil
+	}
+	if w <= 1 {
+		return kms
+	}
+	chosen := make(map[int]bool)
+	var order []int
+	pick := func(lo, hi int) {
+		best := lo
+		bestH := kms[lo].Kmer.Hash()
+		for i := lo + 1; i < hi; i++ {
+			if h := kms[i].Kmer.Hash(); h < bestH {
+				best, bestH = i, h
+			}
+		}
+		if !chosen[best] {
+			chosen[best] = true
+			order = append(order, best)
+		}
+	}
+	if len(kms) < w {
+		pick(0, len(kms))
+	} else {
+		for lo := 0; lo+w <= len(kms); lo++ {
+			pick(lo, lo+w)
+		}
+	}
+	out := make([]Extracted, len(order))
+	for i, idx := range order {
+		out[i] = kms[idx]
+	}
+	return out
+}
+
+// Property: the deque implementation matches brute force exactly.
+func TestMinimizersMatchNaive(t *testing.T) {
+	f := func(seed int64, nRaw, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 120
+		w := int(wRaw)%12 + 1
+		seq := randomSeq(rng, n)
+		got := Minimizers(seq, 7, w, 3)
+		want := naiveMinimizers(seq, 7, w, 3)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimizersW1IsAllKmers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seq := randomSeq(rng, 50)
+	all := ExtractAll(seq, 9, 0)
+	got := Minimizers(seq, 9, 1, 0)
+	if len(got) != len(all) {
+		t.Fatalf("w=1 selected %d of %d", len(got), len(all))
+	}
+}
+
+func TestMinimizersShortRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seq := randomSeq(rng, 12) // 4 k-mers at k=9, window 10
+	got := Minimizers(seq, 9, 10, 0)
+	if len(got) != 1 {
+		t.Fatalf("short read emitted %d minimizers", len(got))
+	}
+	if Minimizers(nil, 9, 10, 0) != nil {
+		t.Error("empty read should emit nothing")
+	}
+}
+
+func TestMinimizerDensity(t *testing.T) {
+	// Empirical density on random sequence should track 2/(w+1).
+	rng := rand.New(rand.NewSource(3))
+	seq := randomSeq(rng, 20000)
+	const k = 15
+	for _, w := range []int{5, 10, 19} {
+		got := float64(len(Minimizers(seq, k, w, 0))) / float64(Count(len(seq), k))
+		want := MinimizerDensity(w)
+		if math.Abs(got-want)/want > 0.2 {
+			t.Errorf("w=%d: density %.4f, want ~%.4f", w, got, want)
+		}
+	}
+	if MinimizerDensity(1) != 1 || MinimizerDensity(0) != 1 {
+		t.Error("degenerate density wrong")
+	}
+}
+
+// The property overlap detection relies on: reads sharing a long exact
+// region share at least one minimizer, at identical offsets into the
+// shared region.
+func TestSharedRegionSharesMinimizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const k, w = 15, 10
+	for trial := 0; trial < 30; trial++ {
+		shared := randomSeq(rng, w+k-1+rng.Intn(200)) // >= w+k-1 guarantees sharing
+		a := append(randomSeq(rng, rng.Intn(100)), shared...)
+		b := append(randomSeq(rng, rng.Intn(100)), shared...)
+		setA := make(map[Kmer]bool)
+		for _, ex := range Minimizers(a, k, w, 0) {
+			setA[ex.Kmer] = true
+		}
+		found := false
+		for _, ex := range Minimizers(b, k, w, 1) {
+			if setA[ex.Kmer] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: no shared minimizer over a %d-base shared region",
+				trial, len(shared))
+		}
+	}
+}
+
+func BenchmarkMinimizers(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	seq := randomSeq(rng, 10000)
+	b.SetBytes(int64(len(seq)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Minimizers(seq, 17, 10, 0)
+	}
+}

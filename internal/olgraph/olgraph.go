@@ -1,0 +1,270 @@
+// Package olgraph builds and analyzes the read-overlap graph that
+// diBELLA's output feeds into downstream assembly (the paper positions the
+// hash table itself as "a read graph with read vertices connected ... by
+// shared k-mers", §11, and overlap graphs as the error-robust
+// representation for long reads).
+//
+// Provided operations are the standard first steps of an
+// overlap-layout-consensus assembler: connected components, degree
+// statistics, and transitive edge reduction (Myers 2005): an edge A→C is
+// removed when edges A→B and B→C explain it, which reduces a coverage-d
+// overlap graph to a near-linear string graph.
+package olgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one confident overlap between two reads, weighted by alignment
+// score (a proxy for overlap length under unit match scoring).
+type Edge struct {
+	A, B   uint32
+	Weight int
+}
+
+// Graph is an undirected overlap graph over read IDs [0, N).
+type Graph struct {
+	n   int
+	adj map[uint32][]Edge // keyed by endpoint; each edge appears under both
+}
+
+// New creates an empty graph over n reads.
+func New(n int) *Graph {
+	return &Graph{n: n, adj: make(map[uint32][]Edge)}
+}
+
+// NumReads returns the vertex count.
+func (g *Graph) NumReads() int { return g.n }
+
+// AddEdge inserts an undirected edge, keeping the heaviest weight for
+// duplicate pairs.
+func (g *Graph) AddEdge(a, b uint32, weight int) error {
+	if int(a) >= g.n || int(b) >= g.n {
+		return fmt.Errorf("olgraph: edge (%d,%d) out of range [0,%d)", a, b, g.n)
+	}
+	if a == b {
+		return fmt.Errorf("olgraph: self-edge at %d", a)
+	}
+	for i, e := range g.adj[a] {
+		if e.B == b || e.A == b {
+			if weight > e.Weight {
+				g.adj[a][i].Weight = weight
+				for j, f := range g.adj[b] {
+					if f.A == a || f.B == a {
+						g.adj[b][j].Weight = weight
+					}
+				}
+			}
+			return nil
+		}
+	}
+	e := Edge{A: a, B: b, Weight: weight}
+	g.adj[a] = append(g.adj[a], e)
+	g.adj[b] = append(g.adj[b], e)
+	return nil
+}
+
+// NumEdges returns the number of distinct edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, es := range g.adj {
+		total += len(es)
+	}
+	return total / 2
+}
+
+// Degree returns a read's neighbor count.
+func (g *Graph) Degree(read uint32) int { return len(g.adj[read]) }
+
+// Neighbors returns the edges incident to a read, sorted by descending
+// weight (deterministic order for ties by neighbor ID).
+func (g *Graph) Neighbors(read uint32) []Edge {
+	es := append([]Edge(nil), g.adj[read]...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Weight != es[j].Weight {
+			return es[i].Weight > es[j].Weight
+		}
+		return other(es[i], read) < other(es[j], read)
+	})
+	return es
+}
+
+func other(e Edge, v uint32) uint32 {
+	if e.A == v {
+		return e.B
+	}
+	return e.A
+}
+
+// Components returns the connected components as sorted ID slices, largest
+// first (ties by smallest member).
+func (g *Graph) Components() [][]uint32 {
+	visited := make([]bool, g.n)
+	var comps [][]uint32
+	for start := 0; start < g.n; start++ {
+		if visited[start] {
+			continue
+		}
+		var comp []uint32
+		stack := []uint32{uint32(start)}
+		visited[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, e := range g.adj[v] {
+				w := other(e, v)
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// DegreeStats summarizes the degree distribution.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	Isolated int // degree-0 reads (no confident overlap)
+}
+
+// Degrees computes the degree distribution summary.
+func (g *Graph) Degrees() DegreeStats {
+	st := DegreeStats{Min: int(^uint(0) >> 1)}
+	total := 0
+	for v := 0; v < g.n; v++ {
+		d := len(g.adj[uint32(v)])
+		total += d
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+		if d == 0 {
+			st.Isolated++
+		}
+	}
+	if g.n > 0 {
+		st.Mean = float64(total) / float64(g.n)
+	} else {
+		st.Min = 0
+	}
+	return st
+}
+
+// TransitiveReduction removes every edge (a,c) for which some b is adjacent
+// to both a and c with both edges at least as heavy — Myers' string-graph
+// reduction adapted to the undirected score-weighted case. It returns the
+// number of removed edges. The result preserves connectivity: only
+// triangle-closing edges are dropped.
+func (g *Graph) TransitiveReduction() int {
+	type key struct{ a, b uint32 }
+	drop := make(map[key]bool)
+	mark := func(a, b uint32) {
+		if a > b {
+			a, b = b, a
+		}
+		drop[key{a, b}] = true
+	}
+	weight := func(a, b uint32) (int, bool) {
+		for _, e := range g.adj[a] {
+			if other(e, a) == b {
+				return e.Weight, true
+			}
+		}
+		return 0, false
+	}
+	for v := uint32(0); int(v) < g.n; v++ {
+		nb := g.adj[v]
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				x, y := other(nb[i], v), other(nb[j], v)
+				if w, ok := weight(x, y); ok {
+					// Triangle v-x-y: drop its lightest edge.
+					wx, wy := nb[i].Weight, nb[j].Weight
+					switch {
+					case w <= wx && w <= wy:
+						mark(x, y)
+					case wx <= wy:
+						mark(v, x)
+					default:
+						mark(v, y)
+					}
+				}
+			}
+		}
+	}
+	removed := 0
+	for v := uint32(0); int(v) < g.n; v++ {
+		kept := g.adj[v][:0]
+		for _, e := range g.adj[v] {
+			a, b := e.A, e.B
+			if a > b {
+				a, b = b, a
+			}
+			if drop[key{a, b}] {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		g.adj[v] = kept
+	}
+	removed = len(drop)
+	return removed
+}
+
+// LayoutEstimate produces a crude contig-length estimate for one
+// component: a maximum-weight spanning walk's base count, approximated as
+// total read bases minus the spanning tree's overlap weight (score ≈
+// overlapped bases under +1/-1/-1 scoring).
+func (g *Graph) LayoutEstimate(component []uint32, readLen func(uint32) int) int {
+	if len(component) == 0 {
+		return 0
+	}
+	total := 0
+	inComp := make(map[uint32]bool, len(component))
+	for _, v := range component {
+		total += readLen(v)
+		inComp[v] = true
+	}
+	// Maximum-weight spanning tree via Prim's algorithm (dense enough for
+	// component sizes here).
+	visited := map[uint32]bool{component[0]: true}
+	treeWeight := 0
+	for len(visited) < len(component) {
+		bestW := -1
+		var bestV uint32
+		for v := range visited {
+			for _, e := range g.adj[v] {
+				w := other(e, v)
+				if inComp[w] && !visited[w] && e.Weight > bestW {
+					bestW = e.Weight
+					bestV = w
+				}
+			}
+		}
+		if bestW < 0 {
+			break // disconnected within the supplied set
+		}
+		visited[bestV] = true
+		treeWeight += bestW
+	}
+	est := total - treeWeight
+	if est < 0 {
+		est = 0
+	}
+	return est
+}

@@ -1,0 +1,194 @@
+package olgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAdd(t *testing.T, g *Graph, a, b uint32, w int) {
+	t.Helper()
+	if err := g.AddEdge(a, b, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 3, 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(1, 1, 1); err == nil {
+		t.Error("self-edge accepted")
+	}
+}
+
+func TestDuplicateEdgeKeepsHeaviest(t *testing.T) {
+	g := New(3)
+	mustAdd(t, g, 0, 1, 5)
+	mustAdd(t, g, 1, 0, 9)
+	mustAdd(t, g, 0, 1, 3)
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if got := g.Neighbors(0)[0].Weight; got != 9 {
+		t.Errorf("weight = %d, want 9", got)
+	}
+	if got := g.Neighbors(1)[0].Weight; got != 9 {
+		t.Errorf("mirror weight = %d, want 9", got)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(4)
+	mustAdd(t, g, 0, 1, 2)
+	mustAdd(t, g, 0, 2, 7)
+	mustAdd(t, g, 0, 3, 7)
+	nb := g.Neighbors(0)
+	if len(nb) != 3 {
+		t.Fatalf("got %d neighbors", len(nb))
+	}
+	if nb[0].Weight != 7 || nb[1].Weight != 7 || nb[2].Weight != 2 {
+		t.Errorf("weights not descending: %+v", nb)
+	}
+	if other(nb[0], 0) != 2 || other(nb[1], 0) != 3 {
+		t.Errorf("tie not broken by ID: %+v", nb)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(7)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 1, 2, 1)
+	mustAdd(t, g, 3, 4, 1)
+	// 5, 6 isolated
+	comps := g.Components()
+	if len(comps) != 4 {
+		t.Fatalf("got %d components", len(comps))
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Errorf("largest component = %v", comps[0])
+	}
+	if len(comps[1]) != 2 || comps[1][0] != 3 {
+		t.Errorf("second component = %v", comps[1])
+	}
+	if len(comps[2]) != 1 || len(comps[3]) != 1 {
+		t.Errorf("isolated reads wrong: %v %v", comps[2], comps[3])
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := New(4)
+	mustAdd(t, g, 0, 1, 1)
+	mustAdd(t, g, 0, 2, 1)
+	st := g.Degrees()
+	if st.Max != 2 || st.Min != 0 || st.Isolated != 1 || st.Mean != 1.0 {
+		t.Errorf("stats = %+v", st)
+	}
+	empty := New(0).Degrees()
+	if empty.Min != 0 || empty.Max != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+func TestTransitiveReductionTriangle(t *testing.T) {
+	// Triangle with one light edge: the light edge goes.
+	g := New(3)
+	mustAdd(t, g, 0, 1, 10)
+	mustAdd(t, g, 1, 2, 10)
+	mustAdd(t, g, 0, 2, 3)
+	removed := g.TransitiveReduction()
+	if removed != 1 {
+		t.Fatalf("removed %d edges", removed)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("left %d edges", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 1 || g.Degree(1) != 2 {
+		t.Error("wrong edge removed")
+	}
+	// Connectivity preserved.
+	if len(g.Components()) != 1 {
+		t.Error("reduction disconnected the graph")
+	}
+}
+
+func TestTransitiveReductionChainUntouched(t *testing.T) {
+	g := New(5)
+	for i := uint32(0); i < 4; i++ {
+		mustAdd(t, g, i, i+1, 10)
+	}
+	if removed := g.TransitiveReduction(); removed != 0 {
+		t.Errorf("chain lost %d edges", removed)
+	}
+}
+
+// Property: reduction never disconnects a connected graph.
+func TestTransitiveReductionPreservesConnectivity(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := New(n)
+		// Random spanning path + extra chords.
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			_ = g.AddEdge(uint32(perm[i-1]), uint32(perm[i]), rng.Intn(100)+1)
+		}
+		for i := 0; i < n; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				_ = g.AddEdge(uint32(a), uint32(b), rng.Intn(100)+1)
+			}
+		}
+		before := len(g.Components())
+		g.TransitiveReduction()
+		return len(g.Components()) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Coverage-line simulation: reads tiling a genome linearly produce a dense
+// band graph; reduction should thin it dramatically while keeping it
+// connected.
+func TestTransitiveReductionThinsBandGraph(t *testing.T) {
+	const n = 50
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n && j <= i+4; j++ {
+			// Overlap weight shrinks with distance, as genomic tiling does.
+			mustAdd(t, g, uint32(i), uint32(j), 100-(j-i)*20)
+		}
+	}
+	before := g.NumEdges()
+	g.TransitiveReduction()
+	after := g.NumEdges()
+	if after >= before/2 {
+		t.Errorf("reduction kept %d of %d edges", after, before)
+	}
+	if len(g.Components()) != 1 {
+		t.Error("band graph disconnected")
+	}
+}
+
+func TestLayoutEstimate(t *testing.T) {
+	// Three 1000 bp reads in a path with 400-base overlaps: layout ≈
+	// 3000 - 800 = 2200.
+	g := New(3)
+	mustAdd(t, g, 0, 1, 400)
+	mustAdd(t, g, 1, 2, 400)
+	est := g.LayoutEstimate([]uint32{0, 1, 2}, func(uint32) int { return 1000 })
+	if est != 2200 {
+		t.Errorf("layout = %d, want 2200", est)
+	}
+	if g.LayoutEstimate(nil, func(uint32) int { return 0 }) != 0 {
+		t.Error("empty component estimate should be 0")
+	}
+	// Estimate never goes negative even with absurd weights.
+	h := New(2)
+	mustAdd(t, h, 0, 1, 10000)
+	if h.LayoutEstimate([]uint32{0, 1}, func(uint32) int { return 100 }) != 0 {
+		t.Error("negative layout not clamped")
+	}
+}

@@ -1,0 +1,82 @@
+package paf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() []Record {
+	return []Record{
+		{QName: "r1", QLen: 100, QStart: 10, QEnd: 90, Strand: '+',
+			TName: "r2", TLen: 120, TStart: 0, TEnd: 80, Score: 70, NSeeds: 3},
+		{QName: "r3", QLen: 50, QStart: 0, QEnd: 50, Strand: '-',
+			TName: "r4", TLen: 60, TStart: 5, TEnd: 55, Score: 44, NSeeds: 1},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(back) != len(want) {
+		t.Fatalf("got %d records", len(back))
+	}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Errorf("record %d: got %+v want %+v", i, back[i], want[i])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Record{
+		{Strand: 'x', QLen: 10, TLen: 10},
+		{Strand: '+', QLen: 10, QStart: 5, QEnd: 3, TLen: 10},
+		{Strand: '+', QLen: 10, QEnd: 11, TLen: 10},
+		{Strand: '+', QLen: 10, TLen: 10, TStart: -1},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("record %d validated", i)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"r1\t100\t10", // too few fields
+		"r1\t100\t10\t90\t++\tr2\t120\t0\t80\t70\t3", // bad strand
+		"r1\tabc\t10\t90\t+\tr2\t120\t0\t80\t70\t3",  // bad int
+		"r1\t100\t10\t90\t+\tr2\t120\t0\t200\t70\t3", // invalid span
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q parsed", in)
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\n" + sample()[0].String() + "\n"
+	recs, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+}
+
+func TestStringTabs(t *testing.T) {
+	line := sample()[0].String()
+	if got := strings.Count(line, "\t"); got != 10 {
+		t.Errorf("line has %d tabs, want 10", got)
+	}
+}

@@ -1,0 +1,170 @@
+package pipeline
+
+import (
+	"sort"
+	"time"
+
+	"dibella/internal/align"
+	"dibella/internal/dna"
+	"dibella/internal/fastq"
+	"dibella/internal/machine"
+	"dibella/internal/overlap"
+	"dibella/internal/spmd"
+	"dibella/internal/stats"
+)
+
+// AlignStats is the alignment stage's per-rank accounting (§9).
+type AlignStats struct {
+	Tasks        int64 // consolidated read pairs assigned to this rank
+	Alignments   int64 // x-drop extensions executed (one per explored seed)
+	Cells        int64 // DP cells computed across all alignments
+	ReadsFetched int64 // remote reads replicated to this rank
+	FetchedBytes int64 // bytes of replicated sequence
+	stats.Breakdown
+}
+
+// Alignment is one computed pairwise alignment, in the coordinates of each
+// read's forward strand (strand '-' means read B aligned
+// reverse-complemented).
+type Alignment struct {
+	A, B          uint32
+	Strand        byte
+	Score         int
+	AStart, AEnd  int
+	BStart, BEnd  int
+	ALen, BLen    int
+	Cells         int64
+	SeedsConsumed int // seeds the pair carried (after filtering)
+}
+
+// alignStage fetches non-local reads and computes every seed's x-drop
+// alignment locally. All ranks must call it collectively (the read
+// request/reply exchanges are all-to-alls).
+func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
+	tasks []overlap.Task, cfg Config) ([]Alignment, AlignStats) {
+
+	st := AlignStats{Tasks: int64(len(tasks))}
+	p := c.Size()
+
+	// Identify the remote reads this rank needs, deduplicated, per owner.
+	t0 := time.Now()
+	needed := make(map[uint32]bool)
+	for _, task := range tasks {
+		if !view.Owns(task.Pair.A) {
+			needed[task.Pair.A] = true
+		}
+		if !view.Owns(task.Pair.B) {
+			needed[task.Pair.B] = true
+		}
+	}
+	reqs := make([][]uint32, p)
+	for id := range needed {
+		o := view.OwnerOf(id)
+		reqs[o] = append(reqs[o], id)
+	}
+	for _, r := range reqs {
+		sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
+	}
+	st.LocalVirtual += price(c, model, float64(len(needed)), machine.RatePairGen, 0)
+	st.LocalWall += time.Since(t0)
+
+	// Request exchange: ship wanted IDs to their owners.
+	t0 = time.Now()
+	pre := c.Stats()
+	incoming := spmd.Alltoallv(c, reqs)
+	post := c.Stats()
+	st.ExchangeVirtual += post.ExchangeVirtual - pre.ExchangeVirtual
+	st.ExchangeWall += time.Since(t0)
+
+	// Reply packing: each owner packs the requested sequences, in request
+	// order, so no IDs need to travel back.
+	t0 = time.Now()
+	replies := make([]spmd.PackedBufs, p)
+	var packedBytes int64
+	for src, ids := range incoming {
+		for _, id := range ids {
+			seq := view.OwnedSeq(id)
+			replies[src].AppendItem(seq)
+			packedBytes += int64(len(seq))
+		}
+	}
+	st.PackVirtual += price(c, model, float64(packedBytes), machine.RatePack, 0)
+	st.PackWall += time.Since(t0)
+
+	// Reply exchange and replica installation.
+	t0 = time.Now()
+	pre = c.Stats()
+	got := spmd.AlltoallvPacked(c, replies)
+	post = c.Stats()
+	st.ExchangeVirtual += post.ExchangeVirtual - pre.ExchangeVirtual
+	st.ExchangeWall += time.Since(t0)
+
+	t0 = time.Now()
+	for src := 0; src < p; src++ {
+		items := got[src].Items()
+		for i, id := range reqs[src] {
+			view.AddReplica(id, items[i])
+			st.ReadsFetched++
+			st.FetchedBytes += int64(len(items[i]))
+		}
+	}
+	st.LocalVirtual += price(c, model, float64(st.FetchedBytes), machine.RatePack, 0)
+	st.LocalWall += time.Since(t0)
+
+	// Embarrassingly parallel per-rank alignment.
+	t0 = time.Now()
+	out := make([]Alignment, 0, len(tasks))
+	var seedOps int64
+	for _, task := range tasks {
+		seqA := view.Seq(task.Pair.A)
+		seqB := view.Seq(task.Pair.B)
+		if seqA == nil || seqB == nil {
+			// Unreachable by construction; guard so a logic error surfaces
+			// as missing output rather than a crash.
+			continue
+		}
+		var rcB []byte // lazily computed reverse complement of B
+		for _, seed := range task.Seeds {
+			seedOps++
+			posA := int(seed.PosA)
+			posB := int(seed.PosB)
+			strand := byte('+')
+			tgt := seqB
+			if !seed.SameStrand() {
+				if rcB == nil {
+					rcB = dna.ReverseComplement(seqB)
+					st.LocalVirtual += price(c, model, float64(len(seqB)), machine.RatePack, 0)
+				}
+				tgt = rcB
+				posB = len(seqB) - cfg.K - posB
+				strand = '-'
+			}
+			if posA < 0 || posB < 0 || posA+cfg.K > len(seqA) || posB+cfg.K > len(tgt) {
+				continue // corrupted seed; skip defensively
+			}
+			r := align.XDrop(seqA, tgt, posA, posB, cfg.K, cfg.Scoring, cfg.XDrop)
+			st.Alignments++
+			st.Cells += r.Cells
+			a := Alignment{
+				A: task.Pair.A, B: task.Pair.B, Strand: strand,
+				Score: r.Score, Cells: r.Cells,
+				AStart: r.SStart, AEnd: r.SEnd,
+				ALen: len(seqA), BLen: len(seqB),
+				SeedsConsumed: len(task.Seeds),
+			}
+			if strand == '+' {
+				a.BStart, a.BEnd = r.TStart, r.TEnd
+			} else {
+				// Map the span back to B's forward coordinates.
+				a.BStart, a.BEnd = len(seqB)-r.TEnd, len(seqB)-r.TStart
+			}
+			if r.Score >= cfg.MinAlignScore {
+				out = append(out, a)
+			}
+		}
+	}
+	st.LocalVirtual += price(c, model, float64(st.Cells), machine.RateCell, 0) +
+		price(c, model, float64(seedOps), machine.RateSeedPrep, 0)
+	st.LocalWall += time.Since(t0)
+	return out, st
+}

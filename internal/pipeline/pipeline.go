@@ -1,0 +1,393 @@
+// Package pipeline assembles diBELLA's four-stage distributed pipeline
+// (§4): Bloom filter construction, hash table construction, overlap
+// detection, and pairwise alignment, all over the spmd runtime with
+// bulk-synchronous all-to-all exchanges.
+//
+// Each stage records a per-rank breakdown (packing / local processing /
+// exchange) in both modeled platform seconds and measured host time; the
+// Report gathers these across ranks into the quantities the paper plots:
+// per-stage rates (Figs. 3, 5, 6, 7), per-stage runtime fractions
+// (Figs. 9, 10), overall efficiency (Figs. 11, 12), overall
+// alignments-per-second (Fig. 13), and alignment-stage load imbalance
+// (Fig. 8).
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dibella/internal/align"
+	"dibella/internal/bella"
+	"dibella/internal/dht"
+	"dibella/internal/fastq"
+	"dibella/internal/machine"
+	"dibella/internal/overlap"
+	"dibella/internal/paf"
+	"dibella/internal/spmd"
+	"dibella/internal/stats"
+)
+
+// Config holds every runtime parameter of a pipeline execution.
+type Config struct {
+	K       int // k-mer length (0: derive via bella.OptimalK from ErrorRate)
+	MaxFreq int // high-frequency cutoff m (0: derive via bella theory)
+
+	SeedMode overlap.SeedMode
+	MinDist  int // seed spacing for MinDistance mode (default 1000)
+	MaxSeeds int // optional per-pair seed cap
+
+	// OwnerPolicy selects the alignment-task placement heuristic
+	// (default: the paper's Algorithm 1 odd/even rule; PolicyLongerRead
+	// implements the §9 future-work idea of placing tasks with the longer
+	// read so less sequence moves).
+	OwnerPolicy overlap.OwnerPolicy
+
+	XDrop         int           // x-drop threshold (default 7, BELLA's)
+	Scoring       align.Scoring // zero value: align.DefaultScoring
+	MinAlignScore int           // drop alignments scoring below this
+
+	MaxKmersPerRound int     // streaming batch bound (default 1<<19)
+	BloomFP          float64 // Bloom false-positive target (default 0.01)
+	UseHLL           bool    // size the Bloom filter via HyperLogLog
+	// MinimizerWindow > 1 seeds overlaps from (w,k)-minimizers only,
+	// trading a little recall for ~(w+1)/2 less k-mer traffic (extension;
+	// Minimap2-style, §11).
+	MinimizerWindow int
+
+	// Data-set characteristics for parameter derivation.
+	ErrorRate float64
+	Coverage  float64
+	GenomeEst float64 // estimated genome size (for k derivation)
+
+	// KeepAlignments retains alignment records in the Report (costs
+	// memory on large runs).
+	KeepAlignments bool
+}
+
+func (cfg *Config) setDefaults() error {
+	if cfg.K == 0 {
+		if cfg.ErrorRate <= 0 || cfg.GenomeEst <= 0 {
+			return fmt.Errorf("pipeline: k not set and no error rate/genome estimate to derive it")
+		}
+		k, err := bella.OptimalK(cfg.ErrorRate, 2000, 0.9, cfg.GenomeEst)
+		if err != nil {
+			return err
+		}
+		cfg.K = k
+	}
+	if cfg.MaxFreq == 0 {
+		if cfg.ErrorRate > 0 && cfg.Coverage > 0 {
+			cfg.MaxFreq = bella.ReliableUpperBound(cfg.ErrorRate, cfg.K, cfg.Coverage, 2, 1e-4)
+		} else {
+			cfg.MaxFreq = 8
+		}
+	}
+	if cfg.XDrop == 0 {
+		cfg.XDrop = 7
+	}
+	if cfg.Scoring == (align.Scoring{}) {
+		cfg.Scoring = align.DefaultScoring
+	}
+	if err := cfg.Scoring.Validate(); err != nil {
+		return err
+	}
+	if cfg.XDrop < 0 {
+		return fmt.Errorf("pipeline: negative x-drop %d", cfg.XDrop)
+	}
+	return nil
+}
+
+// price converts counted operations into virtual seconds on c's clock.
+func price(c *spmd.Comm, model *machine.Model, ops, rate, workingSet float64) float64 {
+	if model == nil || ops <= 0 {
+		return 0
+	}
+	d := model.ComputeTime(ops, rate, workingSet)
+	c.Tick(d)
+	return d
+}
+
+// RankReport is one rank's complete accounting of a pipeline run. It is
+// gathered across ranks into the Report.
+type RankReport struct {
+	Rank         int
+	ReadsLocal   int
+	Bloom        dht.StageStats
+	Hash         dht.StageStats
+	Overlap      overlap.Stats
+	Align        AlignStats
+	Retained     int
+	VirtualTotal float64 // rank's virtual clock at pipeline end
+}
+
+// Report is the gathered result of one pipeline execution.
+type Report struct {
+	Ranks   int
+	Config  Config
+	PerRank []RankReport
+	Reads   int
+	// Global counts.
+	RetainedKmers int64
+	Pairs         int64
+	Alignments    int64
+	Cells         int64
+	// Elapsed virtual seconds (max over ranks) and host wall time.
+	VirtualTime float64
+	WallTime    time.Duration
+	// Alignment records (only when Config.KeepAlignments).
+	Records []Alignment
+}
+
+// StageName identifies a pipeline stage in reports.
+type StageName string
+
+// Pipeline stages in execution order.
+const (
+	StageBloom   StageName = "BloomFilter"
+	StageHash    StageName = "HashTable"
+	StageOverlap StageName = "Overlap"
+	StageAlign   StageName = "Alignment"
+)
+
+// Stages lists the pipeline stages in order.
+var Stages = []StageName{StageBloom, StageHash, StageOverlap, StageAlign}
+
+// breakdownOf extracts a stage's breakdown from a rank report.
+func (r *RankReport) breakdownOf(s StageName) stats.Breakdown {
+	switch s {
+	case StageBloom:
+		return r.Bloom.Breakdown
+	case StageHash:
+		return r.Hash.Breakdown
+	case StageOverlap:
+		return r.Overlap.Breakdown
+	case StageAlign:
+		return r.Align.Breakdown
+	default:
+		panic(fmt.Sprintf("pipeline: unknown stage %q", s))
+	}
+}
+
+// StageVirtual returns the stage's modeled elapsed time: the max over
+// ranks of the stage's virtual total (BSP semantics — the slowest rank
+// sets the stage time).
+func (rep *Report) StageVirtual(s StageName) float64 {
+	vals := make([]float64, len(rep.PerRank))
+	for i := range rep.PerRank {
+		vals[i] = rep.PerRank[i].breakdownOf(s).TotalVirtual()
+	}
+	return stats.Max(vals)
+}
+
+// StageExchangeVirtual returns the stage's modeled exchange time (max over
+// ranks).
+func (rep *Report) StageExchangeVirtual(s StageName) float64 {
+	vals := make([]float64, len(rep.PerRank))
+	for i := range rep.PerRank {
+		vals[i] = rep.PerRank[i].breakdownOf(s).ExchangeVirtual
+	}
+	return stats.Max(vals)
+}
+
+// StageWall returns the stage's measured host time (max over ranks).
+func (rep *Report) StageWall(s StageName) time.Duration {
+	var m time.Duration
+	for i := range rep.PerRank {
+		if w := rep.PerRank[i].breakdownOf(s).TotalWall(); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// TotalVirtual returns the summed per-stage modeled times (the figure
+// harness's denominator; within rounding it equals VirtualTime).
+func (rep *Report) TotalVirtual() float64 {
+	t := 0.0
+	for _, s := range Stages {
+		t += rep.StageVirtual(s)
+	}
+	return t
+}
+
+// ExchangeVirtual returns the total modeled exchange time across stages.
+func (rep *Report) ExchangeVirtual() float64 {
+	t := 0.0
+	for _, s := range Stages {
+		t += rep.StageExchangeVirtual(s)
+	}
+	return t
+}
+
+// AlignImbalance returns the Fig. 8 metric: max over mean of the per-rank
+// alignment-stage times. Virtual when modeled, host wall otherwise.
+func (rep *Report) AlignImbalance() float64 {
+	vals := make([]float64, len(rep.PerRank))
+	virtual := rep.VirtualTime > 0
+	for i := range rep.PerRank {
+		if virtual {
+			vals[i] = rep.PerRank[i].Align.TotalVirtual()
+		} else {
+			vals[i] = rep.PerRank[i].Align.TotalWall().Seconds()
+		}
+	}
+	return stats.Imbalance(vals)
+}
+
+// TaskImbalance returns the imbalance in alignment *counts* per rank; the
+// paper reports this below 0.002% from the odd/even heuristic.
+func (rep *Report) TaskImbalance() float64 {
+	vals := make([]float64, len(rep.PerRank))
+	for i := range rep.PerRank {
+		vals[i] = float64(rep.PerRank[i].Align.Alignments)
+	}
+	return stats.Imbalance(vals)
+}
+
+// Run executes the full pipeline on one rank. All ranks call it
+// collectively; store must be identical on every rank.
+func Run(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config) (RankReport, []Alignment, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return RankReport{}, nil, err
+	}
+	view := store.View(c.Rank())
+	start, end := view.LocalIDRange()
+	local := dht.LocalReads{IDStart: start}
+	for id := start; id < end; id++ {
+		local.Seqs = append(local.Seqs, store.Seq(id))
+	}
+
+	part, buildStats, err := dht.Build(c, model, local, dht.Config{
+		K: cfg.K, MaxFreq: cfg.MaxFreq,
+		MaxKmersPerRound: cfg.MaxKmersPerRound,
+		BloomFP:          cfg.BloomFP,
+		ErrorRate:        cfg.ErrorRate,
+		UseHLL:           cfg.UseHLL,
+		MinimizerWindow:  cfg.MinimizerWindow,
+	})
+	if err != nil {
+		return RankReport{}, nil, err
+	}
+
+	ovCfg := overlap.Config{
+		K: cfg.K, Mode: cfg.SeedMode, MinDist: cfg.MinDist, MaxSeeds: cfg.MaxSeeds,
+		Policy: cfg.OwnerPolicy,
+	}
+	if cfg.OwnerPolicy == overlap.PolicyLongerRead {
+		// In the MPI setting read lengths are allgathered once at startup
+		// (4 bytes per read); the shared store provides them directly.
+		ovCfg.ReadLen = func(id uint32) int { return len(store.Seq(id)) }
+	}
+	tasks, ovStats, err := overlap.Run(c, model, part, store.Owner, ovCfg)
+	if err != nil {
+		return RankReport{}, nil, err
+	}
+	// The hash table is no longer needed once tasks exist.
+	part = nil
+	_ = part
+
+	recs, alStats := alignStage(c, model, view, tasks, cfg)
+
+	return RankReport{
+		Rank:         c.Rank(),
+		ReadsLocal:   int(end - start),
+		Bloom:        buildStats.Bloom,
+		Hash:         buildStats.Hash,
+		Overlap:      ovStats,
+		Align:        alStats,
+		Retained:     buildStats.Retained,
+		VirtualTotal: c.Now(),
+	}, recs, nil
+}
+
+// Execute runs the pipeline across p goroutine ranks and gathers the
+// global Report. model may be nil (no platform pricing; host wall time is
+// still measured).
+func Execute(p int, model *machine.Model, reads []*fastq.Record, cfg Config) (*Report, error) {
+	if model != nil && model.Ranks() != p {
+		return nil, fmt.Errorf("pipeline: model is shaped for %d ranks, running %d", model.Ranks(), p)
+	}
+	// Derive parameters once so the Report carries the resolved values;
+	// per-rank derivation inside Run is deterministic and identical.
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	store := fastq.NewReadStore(reads, p)
+	rep := &Report{Ranks: p, Config: cfg, Reads: len(reads), PerRank: make([]RankReport, p)}
+	var mu sync.Mutex
+
+	var comm spmd.CommModel
+	if model != nil {
+		comm = model
+	}
+	wall := time.Now()
+	err := spmd.RunWithModel(p, comm, func(c *spmd.Comm) error {
+		rr, recs, err := Run(c, model, store, cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		rep.PerRank[c.Rank()] = rr
+		if cfg.KeepAlignments {
+			rep.Records = append(rep.Records, recs...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.WallTime = time.Since(wall)
+	// Ranks append records under a mutex in completion order; sort for
+	// run-to-run reproducible output.
+	sort.Slice(rep.Records, func(i, j int) bool {
+		a, b := rep.Records[i], rep.Records[j]
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		if a.AStart != b.AStart {
+			return a.AStart < b.AStart
+		}
+		return a.Strand < b.Strand
+	})
+	for i := range rep.PerRank {
+		rr := &rep.PerRank[i]
+		rep.RetainedKmers += int64(rr.Retained)
+		rep.Pairs += rr.Overlap.Pairs
+		rep.Alignments += rr.Align.Alignments
+		rep.Cells += rr.Align.Cells
+		if rr.VirtualTotal > rep.VirtualTime {
+			rep.VirtualTime = rr.VirtualTotal
+		}
+	}
+	return rep, nil
+}
+
+// PAFRecords converts kept alignment records into PAF lines using the
+// read names from the original record set.
+func (rep *Report) PAFRecords(reads []*fastq.Record) []paf.Record {
+	out := make([]paf.Record, 0, len(rep.Records))
+	for _, a := range rep.Records {
+		out = append(out, paf.Record{
+			QName: reads[a.A].Name, QLen: a.ALen, QStart: a.AStart, QEnd: a.AEnd,
+			Strand: a.Strand,
+			TName:  reads[a.B].Name, TLen: a.BLen, TStart: a.BStart, TEnd: a.BEnd,
+			Score: a.Score, NSeeds: a.SeedsConsumed,
+		})
+	}
+	return out
+}
+
+// Summary renders the run the way diBELLA logs it.
+func (rep *Report) Summary() string {
+	return fmt.Sprintf(
+		"ranks=%d reads=%d k=%d m=%d retained=%d pairs=%d alignments=%d cells=%d virtual=%.3fs wall=%v",
+		rep.Ranks, rep.Reads, rep.Config.K, rep.Config.MaxFreq,
+		rep.RetainedKmers, rep.Pairs, rep.Alignments, rep.Cells,
+		rep.VirtualTime, rep.WallTime.Round(time.Millisecond))
+}

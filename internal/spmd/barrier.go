@@ -1,0 +1,72 @@
+package spmd
+
+import (
+	"math"
+	"sync"
+)
+
+// barrier is a reusable cyclic barrier that additionally computes the
+// maxima of two float64 contributions per phase (used for virtual-clock
+// synchronization and busiest-sender byte counts) and supports poisoning:
+// abort wakes all waiters, which then panic with ErrAborted so the Run
+// wrapper can unwind every rank instead of deadlocking.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	phase   uint64
+	maxA    float64
+	maxB    float64
+	pubA    float64
+	pubB    float64
+	aborted bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n, maxA: math.Inf(-1), maxB: math.Inf(-1)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n ranks arrive, contributing (a, b) to the
+// phase-wide maxima, and returns those maxima. It panics with ErrAborted
+// if the world was poisoned.
+func (b *barrier) await(a, bv float64) (maxA, maxB float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		panic(ErrAborted)
+	}
+	if a > b.maxA {
+		b.maxA = a
+	}
+	if bv > b.maxB {
+		b.maxB = bv
+	}
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.pubA, b.pubB = b.maxA, b.maxB
+		b.maxA, b.maxB = math.Inf(-1), math.Inf(-1)
+		b.phase++
+		b.cond.Broadcast()
+		return b.pubA, b.pubB
+	}
+	for phase == b.phase && !b.aborted {
+		b.cond.Wait()
+	}
+	if b.aborted {
+		panic(ErrAborted)
+	}
+	return b.pubA, b.pubB
+}
+
+// abort poisons the barrier, releasing current and future waiters.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,367 @@
+// Package spmd is the distributed-memory substrate of the reproduction: an
+// in-process SPMD runtime standing in for MPI.
+//
+// The paper's diBELLA runs P MPI ranks (one per core) and communicates
+// exclusively through bulk-synchronous collectives — MPI_Alltoall,
+// MPI_Alltoallv, and reductions. Go has no MPI ecosystem, so this package
+// redesigns the layer: each rank is a goroutine, and collectives are
+// implemented over a shared exchange matrix guarded by a reusable cyclic
+// barrier. Collective semantics (every rank participates, data moves only
+// at the collective, happens-before across the barrier) match MPI's, which
+// is all the algorithm depends on.
+//
+// Two clocks are tracked per rank:
+//
+//   - wall time, i.e. real host time actually spent inside collectives,
+//     used for host benchmarking; and
+//   - a virtual clock, advanced by Tick for modeled local computation and
+//     by a pluggable CommModel for modeled communication. The virtual
+//     clock is what regenerates the paper's cross-architecture figures:
+//     the same execution, priced under the Cori/Edison/Titan/AWS models.
+//
+// A collective synchronizes virtual clocks exactly as BSP prescribes:
+// everyone advances to the maximum participant clock, then pays the modeled
+// cost of the exchange.
+package spmd
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+	"unsafe"
+)
+
+// ErrAborted is delivered (via panic/recover inside Run) to ranks blocked
+// in a collective when another rank fails, so a single error cannot
+// deadlock the world.
+var ErrAborted = errors.New("spmd: world aborted by another rank's failure")
+
+// CommModel prices communication on a modeled platform. Implementations
+// live in internal/machine; a nil model runs with zero-cost virtual
+// communication (wall time is still measured).
+type CommModel interface {
+	// AlltoallvTime models one irregular all-to-all exchange in which the
+	// busiest rank sends maxSendBytes in total. callIdx counts prior
+	// all-to-all calls in this world (the paper observes MPI's first
+	// Alltoallv is roughly twice as expensive as later calls; models use
+	// callIdx to reproduce that).
+	AlltoallvTime(callIdx int64, maxSendBytes float64) float64
+	// CollectiveTime models a latency-bound small collective (barrier,
+	// allreduce, allgather of scalars).
+	CollectiveTime() float64
+}
+
+// Stats accumulates one rank's communication accounting.
+type Stats struct {
+	Alltoallvs      int64         // number of all-to-all exchanges
+	Collectives     int64         // number of small collectives
+	BytesSent       int64         // payload bytes this rank contributed
+	ExchangeVirtual float64       // modeled seconds spent communicating
+	ExchangeWall    time.Duration // real host time spent inside collectives
+}
+
+// World is the shared state of one SPMD execution.
+type World struct {
+	size  int
+	cells [][]any // cells[src][dst]: staged payloads
+	vals  []any   // per-rank slots for reductions/gathers
+	bar   *barrier
+	model CommModel
+}
+
+// Comm is one rank's handle on the world. It is confined to that rank's
+// goroutine; only the world's shared structures synchronize.
+type Comm struct {
+	rank  int
+	w     *World
+	clock float64 // virtual seconds
+	stats Stats
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.w.size }
+
+// Now returns the rank's virtual clock in seconds.
+func (c *Comm) Now() float64 { return c.clock }
+
+// Tick advances the virtual clock by d seconds of modeled local compute.
+func (c *Comm) Tick(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("spmd: negative tick %v", d))
+	}
+	c.clock += d
+}
+
+// Stats returns a copy of the rank's communication statistics.
+func (c *Comm) Stats() Stats { return c.stats }
+
+// Run executes fn on p goroutine ranks with no communication model and
+// returns the first error any rank produced.
+func Run(p int, fn func(*Comm) error) error { return RunWithModel(p, nil, fn) }
+
+// RunWithModel executes fn on p goroutine ranks, pricing communication with
+// the given model. Panics inside a rank are recovered, abort the world
+// (unblocking ranks parked in collectives), and surface as errors.
+func RunWithModel(p int, model CommModel, fn func(*Comm) error) error {
+	if p <= 0 {
+		return fmt.Errorf("spmd: world size %d must be positive", p)
+	}
+	w := &World{
+		size:  p,
+		cells: make([][]any, p),
+		vals:  make([]any, p),
+		bar:   newBarrier(p),
+		model: model,
+	}
+	for i := range w.cells {
+		w.cells[i] = make([]any, p)
+	}
+
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if err, ok := rec.(error); ok && errors.Is(err, ErrAborted) {
+						errs[rank] = ErrAborted
+						return
+					}
+					buf := make([]byte, 8192)
+					n := runtime.Stack(buf, false)
+					errs[rank] = fmt.Errorf("spmd: rank %d panicked: %v\n%s", rank, rec, buf[:n])
+					w.bar.abort()
+				}
+			}()
+			c := &Comm{rank: rank, w: w}
+			if err := fn(c); err != nil {
+				errs[rank] = fmt.Errorf("spmd: rank %d: %w", rank, err)
+				w.bar.abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// Prefer a real failure over the secondary ErrAborted noise.
+	var aborted error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrAborted) {
+			aborted = err
+			continue
+		}
+		return err
+	}
+	return aborted
+}
+
+// Barrier synchronizes all ranks and their virtual clocks.
+func (c *Comm) Barrier() {
+	start := time.Now()
+	t, _ := c.w.bar.await(c.clock, 0)
+	c.clock = t + c.modelCollective()
+	c.stats.Collectives++
+	c.stats.ExchangeWall += time.Since(start)
+}
+
+func (c *Comm) modelCollective() float64 {
+	if c.w.model == nil {
+		return 0
+	}
+	d := c.w.model.CollectiveTime()
+	c.stats.ExchangeVirtual += d
+	return d
+}
+
+// elemSize reports the in-memory size of T's direct representation. Types
+// containing pointers (slices, strings) undercount payload bytes; use the
+// byte-flattening helpers in flatten.go for such payloads, as a real MPI
+// port would.
+func elemSize[T any]() int {
+	var zero T
+	return int(unsafe.Sizeof(zero))
+}
+
+// Alltoallv performs an irregular all-to-all: rank i's send[j] is delivered
+// as rank j's recv[i]. send must have length Size. The received slices
+// alias the sender's memory (zero-copy, as intra-node MPI would); receivers
+// must not mutate them.
+func Alltoallv[T any](c *Comm, send [][]T) [][]T {
+	w := c.w
+	if len(send) != w.size {
+		panic(fmt.Sprintf("spmd: Alltoallv send length %d != world size %d", len(send), w.size))
+	}
+	start := time.Now()
+	var myBytes int64
+	for dst := 0; dst < w.size; dst++ {
+		w.cells[c.rank][dst] = send[dst]
+		myBytes += int64(len(send[dst]) * elemSize[T]())
+	}
+	tmax, bmax := w.bar.await(c.clock, float64(myBytes))
+	recv := make([][]T, w.size)
+	for src := 0; src < w.size; src++ {
+		if v := w.cells[src][c.rank]; v != nil {
+			recv[src] = v.([]T)
+		}
+	}
+	t2, _ := w.bar.await(tmax, 0)
+	c.clock = t2 + c.modelAlltoallv(bmax)
+	c.stats.Alltoallvs++
+	c.stats.BytesSent += myBytes
+	c.stats.ExchangeWall += time.Since(start)
+	return recv
+}
+
+func (c *Comm) modelAlltoallv(maxBytes float64) float64 {
+	if c.w.model == nil {
+		return 0
+	}
+	d := c.w.model.AlltoallvTime(c.stats.Alltoallvs, maxBytes)
+	c.stats.ExchangeVirtual += d
+	return d
+}
+
+// Alltoall delivers exactly one element to every rank: rank i's send[j]
+// becomes rank j's recv[i]. It matches MPI_Alltoall with count 1 and is
+// how the pipeline exchanges per-destination counts before an Alltoallv.
+func Alltoall[T any](c *Comm, send []T) []T {
+	if len(send) != c.w.size {
+		panic(fmt.Sprintf("spmd: Alltoall send length %d != world size %d", len(send), c.w.size))
+	}
+	per := make([][]T, c.w.size)
+	for i, v := range send {
+		per[i] = []T{v}
+	}
+	parts := Alltoallv(c, per)
+	out := make([]T, c.w.size)
+	for i, p := range parts {
+		out[i] = p[0]
+	}
+	return out
+}
+
+// Op selects a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+// reduce runs the shared-slot reduction protocol and returns this rank's
+// local view of all contributed values.
+func gatherVals[T any](c *Comm, v T) []T {
+	w := c.w
+	start := time.Now()
+	w.vals[c.rank] = v
+	t, _ := w.bar.await(c.clock, 0)
+	out := make([]T, w.size)
+	for i := 0; i < w.size; i++ {
+		out[i] = w.vals[i].(T)
+	}
+	t2, _ := w.bar.await(t, 0)
+	c.clock = t2 + c.modelCollective()
+	c.stats.Collectives++
+	c.stats.ExchangeWall += time.Since(start)
+	return out
+}
+
+// AllreduceI64 reduces one int64 across ranks; every rank gets the result.
+func AllreduceI64(c *Comm, v int64, op Op) int64 {
+	vals := gatherVals(c, v)
+	acc := vals[0]
+	for _, x := range vals[1:] {
+		switch op {
+		case OpSum:
+			acc += x
+		case OpMax:
+			if x > acc {
+				acc = x
+			}
+		case OpMin:
+			if x < acc {
+				acc = x
+			}
+		}
+	}
+	return acc
+}
+
+// AllreduceF64 reduces one float64 across ranks; every rank gets the result.
+func AllreduceF64(c *Comm, v float64, op Op) float64 {
+	vals := gatherVals(c, v)
+	acc := vals[0]
+	for _, x := range vals[1:] {
+		switch op {
+		case OpSum:
+			acc += x
+		case OpMax:
+			if x > acc {
+				acc = x
+			}
+		case OpMin:
+			if x < acc {
+				acc = x
+			}
+		}
+	}
+	return acc
+}
+
+// Allgather collects one value from every rank, ordered by rank.
+func Allgather[T any](c *Comm, v T) []T { return gatherVals(c, v) }
+
+// Bcast distributes root's value to all ranks.
+func Bcast[T any](c *Comm, v T, root int) T {
+	if root < 0 || root >= c.w.size {
+		panic(fmt.Sprintf("spmd: Bcast root %d out of range", root))
+	}
+	return gatherVals(c, v)[root]
+}
+
+// ExclusiveScanI64 returns the sum of v over ranks strictly below this one
+// (0 on rank 0), the standard prefix used to assign global IDs.
+func ExclusiveScanI64(c *Comm, v int64) int64 {
+	vals := gatherVals(c, v)
+	var sum int64
+	for r := 0; r < c.rank; r++ {
+		sum += vals[r]
+	}
+	return sum
+}
+
+// MaxReduceRegisters all-reduces HyperLogLog-style register arrays by
+// element-wise max; every rank receives a fresh merged array.
+//
+// The contribution is deep-copied before the gather: ranks read each
+// other's arrays after leaving the collective, so sharing the caller's
+// slice would race with any later mutation of it (e.g. installing the
+// merged result back into the sketch).
+func MaxReduceRegisters(c *Comm, regs []uint8) []uint8 {
+	private := append([]uint8(nil), regs...)
+	all := gatherVals(c, private)
+	out := make([]uint8, len(regs))
+	copy(out, all[0])
+	for _, a := range all[1:] {
+		if len(a) != len(out) {
+			panic("spmd: register length mismatch in MaxReduceRegisters")
+		}
+		for i, v := range a {
+			if v > out[i] {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+// Package stats provides the measurement plumbing shared by the pipeline
+// stages and the figure harness: per-stage time breakdowns (split into
+// packing, local processing, and exchange, the decomposition of the paper's
+// Fig. 4 and Figs. 9–10), load-imbalance and efficiency calculators, and
+// simple series/table formatting for regenerating the paper's plots as
+// text.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Breakdown splits one stage's cost into the paper's three buckets, in
+// both modeled (virtual) seconds and measured host wall time.
+type Breakdown struct {
+	PackVirtual     float64
+	LocalVirtual    float64
+	ExchangeVirtual float64
+	PackWall        time.Duration
+	LocalWall       time.Duration
+	ExchangeWall    time.Duration
+}
+
+// TotalVirtual returns the modeled seconds across all buckets.
+func (b Breakdown) TotalVirtual() float64 {
+	return b.PackVirtual + b.LocalVirtual + b.ExchangeVirtual
+}
+
+// TotalWall returns the measured host time across all buckets.
+func (b Breakdown) TotalWall() time.Duration {
+	return b.PackWall + b.LocalWall + b.ExchangeWall
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.PackVirtual += o.PackVirtual
+	b.LocalVirtual += o.LocalVirtual
+	b.ExchangeVirtual += o.ExchangeVirtual
+	b.PackWall += o.PackWall
+	b.LocalWall += o.LocalWall
+	b.ExchangeWall += o.ExchangeWall
+}
+
+// Imbalance returns max/mean over per-rank values — the paper's Fig. 8
+// metric, where 1.0 is perfect balance. It returns 0 for empty input and
+// 1 when the mean is zero.
+func Imbalance(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	maxV, sum := math.Inf(-1), 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		sum += v
+	}
+	mean := sum / float64(len(values))
+	if mean == 0 {
+		return 1
+	}
+	return maxV / mean
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	m := values[0]
+	for _, v := range values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Efficiency returns strong-scaling efficiency relative to a base
+// configuration: (tBase·nBase)/(t·n). The paper plots efficiency "over 1
+// node", i.e. nBase=1.
+func Efficiency(tBase float64, nBase int, t float64, n int) float64 {
+	if t <= 0 || n <= 0 {
+		return 0
+	}
+	return tBase * float64(nBase) / (t * float64(n))
+}
+
+// Speedup returns tBase/t (0 when t is 0).
+func Speedup(tBase, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return tBase / t
+}
+
+// Series is one plotted line: a name with (x, y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Format renders the series as "name: (x, y) (x, y) ...".
+func (s Series) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", s.Name)
+	for i := range s.X {
+		fmt.Fprintf(&b, " (%g, %.4g)", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// FormatTable renders rows under headers with aligned columns, the output
+// format of the figure harness.
+func FormatTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

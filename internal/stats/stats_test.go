@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBreakdownTotals(t *testing.T) {
+	b := Breakdown{
+		PackVirtual: 1, LocalVirtual: 2, ExchangeVirtual: 3,
+		PackWall: time.Second, LocalWall: 2 * time.Second, ExchangeWall: 3 * time.Second,
+	}
+	if b.TotalVirtual() != 6 {
+		t.Errorf("TotalVirtual = %v", b.TotalVirtual())
+	}
+	if b.TotalWall() != 6*time.Second {
+		t.Errorf("TotalWall = %v", b.TotalWall())
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := Breakdown{PackVirtual: 1, LocalWall: time.Second}
+	a.Add(Breakdown{PackVirtual: 2, LocalWall: time.Second, ExchangeVirtual: 5})
+	if a.PackVirtual != 3 || a.LocalWall != 2*time.Second || a.ExchangeVirtual != 5 {
+		t.Errorf("Add result: %+v", a)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := Imbalance([]float64{5, 5, 5}); got != 1 {
+		t.Errorf("balanced = %v", got)
+	}
+	if got := Imbalance([]float64{1, 1, 4}); got != 2 {
+		t.Errorf("imbalanced = %v", got)
+	}
+	if got := Imbalance([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero = %v", got)
+	}
+}
+
+// Property: imbalance is always >= 1 for non-negative non-empty input with
+// a positive mean.
+func TestImbalanceAtLeastOne(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		positive := false
+		for i, r := range raw {
+			vals[i] = float64(r)
+			if r > 0 {
+				positive = true
+			}
+		}
+		if !positive {
+			return Imbalance(vals) == 1
+		}
+		return Imbalance(vals) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty Mean/Max not 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if Max([]float64{1, 5, 3}) != 5 {
+		t.Error("Max wrong")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	// Perfect scaling: halved time on doubled nodes.
+	if got := Efficiency(10, 1, 5, 2); got != 1 {
+		t.Errorf("perfect = %v", got)
+	}
+	// No scaling: same time on doubled nodes -> 0.5.
+	if got := Efficiency(10, 1, 10, 2); got != 0.5 {
+		t.Errorf("flat = %v", got)
+	}
+	if Efficiency(10, 1, 0, 2) != 0 {
+		t.Error("zero time should give 0")
+	}
+	// Superlinear: more than halved.
+	if got := Efficiency(10, 1, 4, 2); got <= 1 {
+		t.Errorf("superlinear = %v", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(10, 2) != 5 {
+		t.Error("Speedup wrong")
+	}
+	if Speedup(10, 0) != 0 {
+		t.Error("zero-time Speedup should be 0")
+	}
+}
+
+func TestSeriesFormat(t *testing.T) {
+	s := Series{Name: "Cori", X: []float64{1, 2}, Y: []float64{0.5, 0.25}}
+	got := s.Format()
+	if !strings.Contains(got, "Cori:") || !strings.Contains(got, "(1, 0.5)") {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"a", "longheader"}, [][]string{
+		{"xxxx", "1"},
+		{"y", "2"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// All rows align to the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("misaligned header/separator: %q vs %q", lines[0], lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "xxxx") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
