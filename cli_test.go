@@ -5,6 +5,7 @@ package dibella
 // keep unit runs fast; the full suite exercises the actual binaries.
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -82,6 +83,59 @@ func TestCLIPipelineRoundTrip(t *testing.T) {
 	}
 	if len(strings.Split(strings.TrimSpace(string(tdata)), "\n")) < 2 {
 		t.Error("truth file suspiciously small")
+	}
+}
+
+// TestCLITCPTransportMatchesMem is the acceptance check for the TCP
+// backend: the same seeded read set run with -transport tcp across 4 real
+// worker OS processes must produce byte-identical PAF output to the
+// default in-process run.
+func TestCLITCPTransportMatchesMem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	dir := t.TempDir()
+	seqgen := buildTool(t, dir, "./cmd/seqgen")
+	dibella := buildTool(t, dir, "./cmd/dibella")
+
+	reads := filepath.Join(dir, "reads.fastq")
+	if out, err := exec.Command(seqgen,
+		"-genome", "30000", "-coverage", "10", "-mean-len", "1500",
+		"-error-rate", "0.06", "-seed", "11", "-out", reads,
+	).CombinedOutput(); err != nil {
+		t.Fatalf("seqgen: %v\n%s", err, out)
+	}
+
+	memPAF := filepath.Join(dir, "mem.paf")
+	tcpPAF := filepath.Join(dir, "tcp.paf")
+	common := []string{"-in", reads, "-p", "4", "-k", "17", "-error-rate", "0.06"}
+	if out, err := exec.Command(dibella,
+		append(common, "-out", memPAF)...).CombinedOutput(); err != nil {
+		t.Fatalf("dibella -transport mem: %v\n%s", err, out)
+	}
+	out, err := exec.Command(dibella,
+		append(common, "-transport", "tcp", "-out", tcpPAF)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("dibella -transport tcp: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "launching 3 worker processes") {
+		t.Errorf("tcp run did not fork workers:\n%s", out)
+	}
+
+	memBytes, err := os.ReadFile(memPAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpBytes, err := os.ReadFile(tcpPAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(memBytes) == 0 {
+		t.Fatal("mem run produced an empty PAF")
+	}
+	if !bytes.Equal(memBytes, tcpBytes) {
+		t.Errorf("PAF output differs between transports (%d vs %d bytes)",
+			len(memBytes), len(tcpBytes))
 	}
 }
 

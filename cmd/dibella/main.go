@@ -5,21 +5,36 @@
 //
 //	dibella -in reads.fastq -out overlaps.paf -p 8 -seed-mode one
 //	dibella -in reads.fastq -platform cori -nodes 8   # modeled platform run
+//	dibella -in reads.fastq -transport tcp -p 4       # 4 OS processes over TCP
+//
+// With -transport tcp the process acts as a launcher: it binds a loopback
+// rendezvous port, forks P-1 copies of itself as worker processes (ranks
+// 1..P-1), and participates as rank 0. The workers form a full TCP mesh
+// with rank 0 and run the identical bulk-synchronous pipeline, exchanging
+// k-mers, overlap tasks, and read sequences over sockets instead of shared
+// memory; output is byte-identical to a -transport mem run. The -rank and
+// -rendezvous flags are the internal worker-mode plumbing the launcher
+// uses and are not set by hand.
 //
 // With -platform, the report additionally carries modeled per-stage times
 // for the chosen machine (see -breakdown).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/exec"
+	"strconv"
 
 	"dibella/internal/fastq"
 	"dibella/internal/machine"
 	"dibella/internal/overlap"
 	"dibella/internal/paf"
 	"dibella/internal/pipeline"
+	"dibella/internal/spmd"
 	"dibella/internal/stats"
 )
 
@@ -27,7 +42,7 @@ func main() {
 	var (
 		in       = flag.String("in", "", "input FASTQ/FASTA file (required)")
 		out      = flag.String("out", "", "output PAF file (default: stdout)")
-		p        = flag.Int("p", 8, "number of ranks (goroutines)")
+		p        = flag.Int("p", 8, "number of ranks (goroutines, or processes with -transport tcp)")
 		k        = flag.Int("k", 0, "k-mer length (0: derive from -error-rate/-genome)")
 		maxFreq  = flag.Int("m", 0, "high-frequency k-mer cutoff (0: derive)")
 		seedMode = flag.String("seed-mode", "one", "seed exploration: one | dist | all")
@@ -41,6 +56,10 @@ func main() {
 		platform = flag.String("platform", "", "model a platform: cori | edison | titan | aws")
 		nodes    = flag.Int("nodes", 1, "modeled node count (with -platform)")
 		showBrk  = flag.Bool("breakdown", false, "print the per-stage time breakdown")
+
+		transport  = flag.String("transport", "mem", "spmd backend: mem (goroutine ranks) | tcp (one OS process per rank)")
+		rank       = flag.Int("rank", -1, "internal: this worker process's rank (set by the tcp launcher)")
+		rendezvous = flag.String("rendezvous", "", "internal: rank-0 rendezvous address (set by the tcp launcher)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -48,12 +67,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *transport != "mem" && *transport != "tcp" {
+		fatal(fmt.Errorf("unknown -transport %q (want mem or tcp)", *transport))
+	}
+	// Worker processes report through rank 0; keep their stderr quiet.
+	chatty := *rank <= 0
 
 	reads, err := fastq.ReadFile(*in)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "loaded %s: %s\n", *in, fastq.Summarize(reads))
+	if chatty {
+		fmt.Fprintf(os.Stderr, "loaded %s: %s\n", *in, fastq.Summarize(reads))
+	}
 
 	cfg := pipeline.Config{
 		K: *k, MaxFreq: *maxFreq,
@@ -82,13 +108,26 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "modeling %s, %d nodes (%d ranks) with %d goroutine ranks\n",
-			plat.Name, *nodes, mdl.RealRanks(), *p)
+		if chatty {
+			fmt.Fprintf(os.Stderr, "modeling %s, %d nodes (%d ranks) with %d %s ranks\n",
+				plat.Name, *nodes, mdl.RealRanks(), *p, *transport)
+		}
 	}
 
-	rep, err := pipeline.Execute(*p, mdl, reads, cfg)
+	var rep *pipeline.Report
+	switch {
+	case *transport == "mem":
+		rep, err = pipeline.Execute(*p, mdl, reads, cfg)
+	case *rank >= 0:
+		rep, err = runTCPWorker(*rank, *p, *rendezvous, nil, mdl, reads, cfg)
+	default:
+		rep, err = runTCPLauncher(*p, mdl, reads, cfg)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if *rank > 0 {
+		return // workers: rank 0 owns all output
 	}
 	fmt.Fprintln(os.Stderr, rep.Summary())
 
@@ -107,6 +146,92 @@ func main() {
 	}
 	if err := paf.Write(w, rep.PAFRecords(reads)); err != nil {
 		fatal(err)
+	}
+}
+
+// runTCPWorker joins the TCP world as one rank and runs the pipeline
+// collectively. ln, when non-nil, is the launcher's pre-bound rendezvous
+// listener (rank 0 only).
+func runTCPWorker(rank, p int, rendezvous string, ln net.Listener, mdl *machine.Model,
+	reads []*fastq.Record, cfg pipeline.Config) (*pipeline.Report, error) {
+
+	if rendezvous == "" {
+		return nil, fmt.Errorf("tcp worker mode needs -rendezvous")
+	}
+	tr, err := spmd.DialTCP(spmd.TCPConfig{
+		Rank: rank, Size: p, Rendezvous: rendezvous, Listener: ln,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var comm spmd.CommModel
+	if mdl != nil {
+		comm = mdl
+	}
+	store := fastq.NewReadStore(reads, p)
+	var rep *pipeline.Report
+	err = spmd.RunTransport(tr, comm, func(c *spmd.Comm) error {
+		r, err := pipeline.ExecuteComm(c, mdl, store, cfg)
+		rep = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// runTCPLauncher binds the rendezvous port, forks ranks 1..p-1 as copies
+// of this binary, and participates as rank 0. It returns rank 0's report
+// once every worker has exited cleanly.
+func runTCPLauncher(p int, mdl *machine.Model, reads []*fastq.Record,
+	cfg pipeline.Config) (*pipeline.Report, error) {
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("binding rendezvous port: %w", err)
+	}
+	addr := ln.Addr().String()
+	exe, err := os.Executable()
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "tcp transport: launching %d worker processes (rendezvous %s)\n", p-1, addr)
+	workers := make([]*exec.Cmd, 0, p-1)
+	for r := 1; r < p; r++ {
+		args := append(append([]string{}, os.Args[1:]...),
+			"-rank", strconv.Itoa(r), "-rendezvous", addr)
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stderr // a worker never owns the PAF stream
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			ln.Close()
+			reapWorkers(workers)
+			return nil, fmt.Errorf("starting worker rank %d: %w", r, err)
+		}
+		workers = append(workers, cmd)
+	}
+
+	rep, runErr := runTCPWorker(0, p, addr, ln, mdl, reads, cfg)
+	for i, cmd := range workers {
+		err := cmd.Wait()
+		// When a worker fails, rank 0 typically unwinds first with the
+		// generic ErrAborted; prefer the worker's own exit error so the
+		// originating failure is what surfaces.
+		if err != nil && (runErr == nil || errors.Is(runErr, spmd.ErrAborted)) {
+			runErr = fmt.Errorf("worker rank %d: %w", i+1, err)
+		}
+	}
+	return rep, runErr
+}
+
+// reapWorkers kills and waits out already-started workers after a launch
+// failure so none linger.
+func reapWorkers(workers []*exec.Cmd) {
+	for _, cmd := range workers {
+		cmd.Process.Kill()
+		cmd.Wait()
 	}
 }
 

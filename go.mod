@@ -1,0 +1,3 @@
+module dibella
+
+go 1.24

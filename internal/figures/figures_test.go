@@ -21,6 +21,13 @@ func testOptions() *Options {
 
 func TestSweepConsistency(t *testing.T) {
 	o := testOptions()
+	if testing.Short() {
+		// The invariants here (positive work counts, exchange < total,
+		// platform-independent work) hold at any scale; shrink the sweep
+		// so short runs stay fast.
+		o.Scale = 0.002
+		o.NodeCounts = []int{1, 4}
+	}
 	ms, err := o.Sweep30x()
 	if err != nil {
 		t.Fatal(err)
@@ -61,6 +68,9 @@ func TestSweepConsistency(t *testing.T) {
 }
 
 func TestSweepShapeClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-architecture shape claims need a realistic sweep; skipped in short mode")
+	}
 	// The headline cross-architecture claims the reproduction must hold.
 	o := testOptions()
 	o.NodeCounts = []int{1, 16}
@@ -107,6 +117,9 @@ func TestSweepShapeClaims(t *testing.T) {
 }
 
 func TestCoriAnomalyInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anomaly sweep comparison in short mode")
+	}
 	on := testOptions()
 	on.NodeCounts = []int{16}
 	msOn, err := on.Sweep30x()

@@ -187,11 +187,26 @@ func (g *Graph) TransitiveReduction() int {
 		}
 		return 0, false
 	}
+	alive := func(a, b uint32) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return !drop[key{a, b}]
+	}
 	for v := uint32(0); int(v) < g.n; v++ {
 		nb := g.adj[v]
 		for i := 0; i < len(nb); i++ {
 			for j := i + 1; j < len(nb); j++ {
 				x, y := other(nb[i], v), other(nb[j], v)
+				// A triangle fires only while all three edges are still
+				// alive: every drop then has a live two-edge replacement
+				// path at the moment it is made, which preserves
+				// connectivity inductively. (Batch-marking instead would
+				// let overlapping triangles each remove a different edge
+				// of a shared triangle and disconnect the graph.)
+				if !alive(v, x) || !alive(v, y) || !alive(x, y) {
+					continue
+				}
 				if w, ok := weight(x, y); ok {
 					// Triangle v-x-y: drop its lightest edge.
 					wx, wy := nb[i].Weight, nb[j].Weight

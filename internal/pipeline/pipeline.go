@@ -302,20 +302,101 @@ func Run(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config)
 	}, recs, nil
 }
 
-// Execute runs the pipeline across p goroutine ranks and gathers the
-// global Report. model may be nil (no platform pricing; host wall time is
-// still measured).
+// ExecuteComm runs the full pipeline collectively on c's world — whatever
+// transport backs it — and gathers the global Report with spmd collectives,
+// so goroutine ranks and TCP worker processes share one code path. Every
+// rank returns a report with identical global counts, but alignment
+// Records are assembled on rank 0 only (the output-owning rank; skipping
+// the copy and sort elsewhere keeps the gather's cost from scaling with
+// ranks that immediately discard it). store must be identical on all
+// ranks.
+func ExecuteComm(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config) (*Report, error) {
+	if model != nil && model.Ranks() != c.Size() {
+		return nil, fmt.Errorf("pipeline: model is shaped for %d ranks, running %d", model.Ranks(), c.Size())
+	}
+	// Derive parameters up front so the Report carries the resolved
+	// values; derivation is deterministic and identical on every rank.
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	wall := time.Now()
+	rr, recs, err := Run(c, model, store, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Ranks:   c.Size(),
+		Config:  cfg,
+		Reads:   store.NumReads(),
+		PerRank: spmd.Allgather(c, rr),
+	}
+	if cfg.KeepAlignments {
+		// Root gather: records travel to rank 0 only (the output-owning
+		// rank), so wire traffic and decode cost don't scale with ranks
+		// that would immediately discard them.
+		all := spmd.GatherTo(c, recs, 0)
+		if c.Rank() == 0 {
+			for _, rs := range all {
+				rep.Records = append(rep.Records, rs...)
+			}
+			// Total order over all fields: output must be byte-identical
+			// across backends, rank counts, and gather arrival orders.
+			sort.Slice(rep.Records, func(i, j int) bool {
+				return rep.Records[i].less(&rep.Records[j])
+			})
+		}
+	}
+	for i := range rep.PerRank {
+		prr := &rep.PerRank[i]
+		rep.RetainedKmers += int64(prr.Retained)
+		rep.Pairs += prr.Overlap.Pairs
+		rep.Alignments += prr.Align.Alignments
+		rep.Cells += prr.Align.Cells
+		if prr.VirtualTotal > rep.VirtualTime {
+			rep.VirtualTime = prr.VirtualTotal
+		}
+	}
+	rep.WallTime = time.Since(wall)
+	return rep, nil
+}
+
+// less is a total order on alignments so that sorted output is fully
+// deterministic (ties on the leading keys are broken by every remaining
+// field rather than left to sort instability).
+func (a *Alignment) less(b *Alignment) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	if a.AStart != b.AStart {
+		return a.AStart < b.AStart
+	}
+	if a.Strand != b.Strand {
+		return a.Strand < b.Strand
+	}
+	if a.AEnd != b.AEnd {
+		return a.AEnd < b.AEnd
+	}
+	if a.BStart != b.BStart {
+		return a.BStart < b.BStart
+	}
+	if a.BEnd != b.BEnd {
+		return a.BEnd < b.BEnd
+	}
+	return a.Score < b.Score
+}
+
+// Execute runs the pipeline across p goroutine ranks over the in-process
+// transport and gathers the global Report. model may be nil (no platform
+// pricing; host wall time is still measured).
 func Execute(p int, model *machine.Model, reads []*fastq.Record, cfg Config) (*Report, error) {
 	if model != nil && model.Ranks() != p {
 		return nil, fmt.Errorf("pipeline: model is shaped for %d ranks, running %d", model.Ranks(), p)
 	}
-	// Derive parameters once so the Report carries the resolved values;
-	// per-rank derivation inside Run is deterministic and identical.
-	if err := cfg.setDefaults(); err != nil {
-		return nil, err
-	}
 	store := fastq.NewReadStore(reads, p)
-	rep := &Report{Ranks: p, Config: cfg, Reads: len(reads), PerRank: make([]RankReport, p)}
+	var rep *Report
 	var mu sync.Mutex
 
 	var comm spmd.CommModel
@@ -324,15 +405,14 @@ func Execute(p int, model *machine.Model, reads []*fastq.Record, cfg Config) (*R
 	}
 	wall := time.Now()
 	err := spmd.RunWithModel(p, comm, func(c *spmd.Comm) error {
-		rr, recs, err := Run(c, model, store, cfg)
+		r, err := ExecuteComm(c, model, store, cfg)
 		if err != nil {
 			return err
 		}
-		mu.Lock()
-		defer mu.Unlock()
-		rep.PerRank[c.Rank()] = rr
-		if cfg.KeepAlignments {
-			rep.Records = append(rep.Records, recs...)
+		if c.Rank() == 0 {
+			mu.Lock()
+			rep = r
+			mu.Unlock()
 		}
 		return nil
 	})
@@ -340,31 +420,6 @@ func Execute(p int, model *machine.Model, reads []*fastq.Record, cfg Config) (*R
 		return nil, err
 	}
 	rep.WallTime = time.Since(wall)
-	// Ranks append records under a mutex in completion order; sort for
-	// run-to-run reproducible output.
-	sort.Slice(rep.Records, func(i, j int) bool {
-		a, b := rep.Records[i], rep.Records[j]
-		if a.A != b.A {
-			return a.A < b.A
-		}
-		if a.B != b.B {
-			return a.B < b.B
-		}
-		if a.AStart != b.AStart {
-			return a.AStart < b.AStart
-		}
-		return a.Strand < b.Strand
-	})
-	for i := range rep.PerRank {
-		rr := &rep.PerRank[i]
-		rep.RetainedKmers += int64(rr.Retained)
-		rep.Pairs += rr.Overlap.Pairs
-		rep.Alignments += rr.Align.Alignments
-		rep.Cells += rr.Align.Cells
-		if rr.VirtualTotal > rep.VirtualTime {
-			rep.VirtualTime = rr.VirtualTotal
-		}
-	}
 	return rep, nil
 }
 

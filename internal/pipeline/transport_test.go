@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dibella/internal/fastq"
+	"dibella/internal/paf"
+	"dibella/internal/seqgen"
+	"dibella/internal/spmd"
+)
+
+// executeTCPLoopback runs the pipeline over a p-rank TCP world formed on
+// the loopback interface — one transport (and socket set) per rank, ranks
+// as goroutines — and returns rank 0's gathered report.
+func executeTCPLoopback(t *testing.T, p int, reads []*fastq.Record, cfg Config) (*Report, error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("rendezvous listen: %v", err)
+	}
+	rendezvous := ln.Addr().String()
+	var (
+		rep  *Report
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		errs = make([]error, p)
+	)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg0 := spmd.TCPConfig{
+				Rank: rank, Size: p, Rendezvous: rendezvous,
+				Timeout: 20 * time.Second,
+			}
+			if rank == 0 {
+				cfg0.Listener = ln
+			}
+			tr, err := spmd.DialTCP(cfg0)
+			if err != nil {
+				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
+				return
+			}
+			// Each rank builds its own store, as separate worker
+			// processes would.
+			store := fastq.NewReadStore(reads, p)
+			errs[rank] = spmd.RunTransport(tr, nil, func(c *spmd.Comm) error {
+				r, err := ExecuteComm(c, nil, store, cfg)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					mu.Lock()
+					rep = r
+					mu.Unlock()
+				}
+				return nil
+			})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// TestTCPTransportMatchesInProcess is the loopback equivalence check the
+// transport refactor promises: the same seeded read set, pushed through
+// the full four-stage pipeline on both backends, must produce identical
+// overlaps and alignments — compared as serialized PAF bytes.
+func TestTCPTransportMatchesInProcess(t *testing.T) {
+	const p = 4
+	ds, err := seqgen.Generate(seqgen.Config{
+		GenomeLen: 24000, Coverage: 10, MeanReadLen: 1500, MinReadLen: 500, BothStrands: true, ErrorRate: 0.06, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 17, ErrorRate: 0.06, Coverage: 10, KeepAlignments: true}
+
+	memRep, err := Execute(p, nil, ds.Reads, cfg)
+	if err != nil {
+		t.Fatalf("in-process backend: %v", err)
+	}
+	tcpRep, err := executeTCPLoopback(t, p, ds.Reads, cfg)
+	if err != nil {
+		t.Fatalf("tcp backend: %v", err)
+	}
+
+	if memRep.Alignments == 0 {
+		t.Fatal("in-process run produced no alignments; dataset too small to compare anything")
+	}
+	if memRep.RetainedKmers != tcpRep.RetainedKmers || memRep.Pairs != tcpRep.Pairs ||
+		memRep.Alignments != tcpRep.Alignments || memRep.Cells != tcpRep.Cells {
+		t.Errorf("global counts diverged:\n mem: %s\n tcp: %s", memRep.Summary(), tcpRep.Summary())
+	}
+
+	var memPAF, tcpPAF bytes.Buffer
+	if err := paf.Write(&memPAF, memRep.PAFRecords(ds.Reads)); err != nil {
+		t.Fatal(err)
+	}
+	if err := paf.Write(&tcpPAF, tcpRep.PAFRecords(ds.Reads)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(memPAF.Bytes(), tcpPAF.Bytes()) {
+		t.Errorf("PAF output differs between transports (%d vs %d bytes, %d vs %d records)",
+			memPAF.Len(), tcpPAF.Len(), len(memRep.Records), len(tcpRep.Records))
+	}
+}
+
+// TestTCPTransportPropagatesPipelineErrors checks a rank failure inside
+// the distributed pipeline aborts the whole TCP world cleanly.
+func TestTCPTransportPropagatesPipelineErrors(t *testing.T) {
+	ds, err := seqgen.Generate(seqgen.Config{
+		GenomeLen: 8000, Coverage: 6, MeanReadLen: 1000, MinReadLen: 400, ErrorRate: 0.05, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid config: k unset and underivable → every rank errors before
+	// the first collective; the world must shut down, not hang.
+	_, err = executeTCPLoopback(t, 3, ds.Reads, Config{})
+	if err == nil {
+		t.Fatal("expected configuration error to surface through the TCP world")
+	}
+}

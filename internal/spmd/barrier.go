@@ -8,8 +8,8 @@ import (
 // barrier is a reusable cyclic barrier that additionally computes the
 // maxima of two float64 contributions per phase (used for virtual-clock
 // synchronization and busiest-sender byte counts) and supports poisoning:
-// abort wakes all waiters, which then panic with ErrAborted so the Run
-// wrapper can unwind every rank instead of deadlocking.
+// abort wakes all waiters, which then report ok=false so callers can
+// unwind every rank instead of deadlocking.
 type barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -30,13 +30,13 @@ func newBarrier(n int) *barrier {
 }
 
 // await blocks until all n ranks arrive, contributing (a, b) to the
-// phase-wide maxima, and returns those maxima. It panics with ErrAborted
-// if the world was poisoned.
-func (b *barrier) await(a, bv float64) (maxA, maxB float64) {
+// phase-wide maxima, and returns those maxima. ok is false if the world
+// was poisoned.
+func (b *barrier) await(a, bv float64) (maxA, maxB float64, ok bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.aborted {
-		panic(ErrAborted)
+		return 0, 0, false
 	}
 	if a > b.maxA {
 		b.maxA = a
@@ -52,15 +52,15 @@ func (b *barrier) await(a, bv float64) (maxA, maxB float64) {
 		b.maxA, b.maxB = math.Inf(-1), math.Inf(-1)
 		b.phase++
 		b.cond.Broadcast()
-		return b.pubA, b.pubB
+		return b.pubA, b.pubB, true
 	}
 	for phase == b.phase && !b.aborted {
 		b.cond.Wait()
 	}
 	if b.aborted {
-		panic(ErrAborted)
+		return 0, 0, false
 	}
-	return b.pubA, b.pubB
+	return b.pubA, b.pubB, true
 }
 
 // abort poisons the barrier, releasing current and future waiters.

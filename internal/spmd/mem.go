@@ -1,0 +1,103 @@
+package spmd
+
+// The in-process transport: ranks are goroutines in one address space,
+// collectives move data through a shared exchange matrix guarded by the
+// reusable cyclic barrier in barrier.go. Payloads are delivered zero-copy
+// (receivers alias the sender's memory), exactly as the runtime behaved
+// before the Transport split.
+
+// memWorld is the state shared by all ranks of one in-process world.
+type memWorld struct {
+	size  int
+	cells [][]any // cells[src][dst]: staged payloads
+	vals  []any   // per-rank slots for gathers
+	bar   *barrier
+}
+
+func newMemWorld(p int) *memWorld {
+	w := &memWorld{
+		size:  p,
+		cells: make([][]any, p),
+		vals:  make([]any, p),
+		bar:   newBarrier(p),
+	}
+	for i := range w.cells {
+		w.cells[i] = make([]any, p)
+	}
+	return w
+}
+
+// rank returns rank r's Transport handle on the world.
+func (w *memWorld) rank(r int) Transport { return &memRank{w: w, rank: r} }
+
+// memRank is one rank's handle; it is confined to that rank's goroutine.
+type memRank struct {
+	w    *memWorld
+	rank int
+}
+
+func (m *memRank) Rank() int    { return m.rank }
+func (m *memRank) Size() int    { return m.w.size }
+func (m *memRank) Shared() bool { return true }
+func (m *memRank) Abort()       { m.w.bar.abort() }
+func (m *memRank) Close() error { return nil }
+
+func (m *memRank) Alltoallv(send [][]byte, clock, sentBytes float64) ([][]byte, float64, float64, error) {
+	w := m.w
+	for dst := 0; dst < w.size; dst++ {
+		w.cells[m.rank][dst] = send[dst]
+	}
+	tmax, bmax, ok := w.bar.await(clock, sentBytes)
+	if !ok {
+		return nil, 0, 0, ErrAborted
+	}
+	recv := make([][]byte, w.size)
+	for src := 0; src < w.size; src++ {
+		if v := w.cells[src][m.rank]; v != nil {
+			recv[src] = v.([]byte)
+		}
+	}
+	// Second phase: no rank may overwrite its cells (next collective)
+	// until every rank has read this one's.
+	if _, _, ok := w.bar.await(tmax, 0); !ok {
+		return nil, 0, 0, ErrAborted
+	}
+	return recv, tmax, bmax, nil
+}
+
+func (m *memRank) AllgatherAny(v any, clock float64) ([]any, float64, error) {
+	w := m.w
+	w.vals[m.rank] = v
+	tmax, _, ok := w.bar.await(clock, 0)
+	if !ok {
+		return nil, 0, ErrAborted
+	}
+	out := make([]any, w.size)
+	copy(out, w.vals)
+	if _, _, ok := w.bar.await(tmax, 0); !ok {
+		return nil, 0, ErrAborted
+	}
+	return out, tmax, nil
+}
+
+func (m *memRank) Allgather(blob []byte, clock float64) ([][]byte, float64, error) {
+	vals, tmax, err := m.AllgatherAny(blob, clock)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([][]byte, len(vals))
+	for i, v := range vals {
+		if v != nil {
+			out[i] = v.([]byte)
+		}
+	}
+	return out, tmax, nil
+}
+
+func (m *memRank) Barrier(clock float64) (float64, error) {
+	tmax, _, ok := m.w.bar.await(clock, 0)
+	if !ok {
+		return 0, ErrAborted
+	}
+	return tmax, nil
+}

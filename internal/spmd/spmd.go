@@ -1,14 +1,17 @@
 // Package spmd is the distributed-memory substrate of the reproduction: an
-// in-process SPMD runtime standing in for MPI.
+// SPMD runtime standing in for MPI.
 //
 // The paper's diBELLA runs P MPI ranks (one per core) and communicates
 // exclusively through bulk-synchronous collectives — MPI_Alltoall,
 // MPI_Alltoallv, and reductions. Go has no MPI ecosystem, so this package
-// redesigns the layer: each rank is a goroutine, and collectives are
-// implemented over a shared exchange matrix guarded by a reusable cyclic
-// barrier. Collective semantics (every rank participates, data moves only
-// at the collective, happens-before across the barrier) match MPI's, which
-// is all the algorithm depends on.
+// redesigns the layer: typed collectives run over a pluggable byte-level
+// Transport (see transport.go). The default backend keeps each rank as a
+// goroutine and moves data through a shared exchange matrix guarded by a
+// reusable cyclic barrier; the TCP backend (tcp.go) runs one OS process
+// per rank with length-prefixed frames over per-peer connections.
+// Collective semantics (every rank participates, data moves only at the
+// collective, happens-before across the barrier) match MPI's on both
+// backends, which is all the algorithm depends on.
 //
 // Two clocks are tracked per rank:
 //
@@ -27,15 +30,16 @@ package spmd
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"time"
 	"unsafe"
 )
 
-// ErrAborted is delivered (via panic/recover inside Run) to ranks blocked
-// in a collective when another rank fails, so a single error cannot
-// deadlock the world.
+// ErrAborted is delivered (via panic/recover inside Run and RunTransport)
+// to ranks blocked in a collective when another rank fails, so a single
+// error cannot deadlock the world.
 var ErrAborted = errors.New("spmd: world aborted by another rank's failure")
 
 // CommModel prices communication on a modeled platform. Implementations
@@ -62,29 +66,21 @@ type Stats struct {
 	ExchangeWall    time.Duration // real host time spent inside collectives
 }
 
-// World is the shared state of one SPMD execution.
-type World struct {
-	size  int
-	cells [][]any // cells[src][dst]: staged payloads
-	vals  []any   // per-rank slots for reductions/gathers
-	bar   *barrier
-	model CommModel
-}
-
-// Comm is one rank's handle on the world. It is confined to that rank's
-// goroutine; only the world's shared structures synchronize.
+// Comm is one rank's handle on the world: a Transport plus the rank's
+// virtual clock and accounting. It is confined to that rank's goroutine
+// (or process); only the transport synchronizes.
 type Comm struct {
-	rank  int
-	w     *World
+	tr    Transport
+	model CommModel
 	clock float64 // virtual seconds
 	stats Stats
 }
 
 // Rank returns this rank's index in [0, Size).
-func (c *Comm) Rank() int { return c.rank }
+func (c *Comm) Rank() int { return c.tr.Rank() }
 
 // Size returns the number of ranks in the world.
-func (c *Comm) Size() int { return c.w.size }
+func (c *Comm) Size() int { return c.tr.Size() }
 
 // Now returns the rank's virtual clock in seconds.
 func (c *Comm) Now() float64 { return c.clock }
@@ -104,52 +100,75 @@ func (c *Comm) Stats() Stats { return c.stats }
 // returns the first error any rank produced.
 func Run(p int, fn func(*Comm) error) error { return RunWithModel(p, nil, fn) }
 
-// RunWithModel executes fn on p goroutine ranks, pricing communication with
-// the given model. Panics inside a rank are recovered, abort the world
-// (unblocking ranks parked in collectives), and surface as errors.
+// RunWithModel executes fn on p goroutine ranks over the in-process
+// transport, pricing communication with the given model. Panics inside a
+// rank are recovered, abort the world (unblocking ranks parked in
+// collectives), and surface as errors.
 func RunWithModel(p int, model CommModel, fn func(*Comm) error) error {
 	if p <= 0 {
 		return fmt.Errorf("spmd: world size %d must be positive", p)
 	}
-	w := &World{
-		size:  p,
-		cells: make([][]any, p),
-		vals:  make([]any, p),
-		bar:   newBarrier(p),
-		model: model,
-	}
-	for i := range w.cells {
-		w.cells[i] = make([]any, p)
-	}
-
+	w := newMemWorld(p)
 	errs := make([]error, p)
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for r := 0; r < p; r++ {
 		go func(rank int) {
 			defer wg.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					if err, ok := rec.(error); ok && errors.Is(err, ErrAborted) {
-						errs[rank] = ErrAborted
-						return
-					}
-					buf := make([]byte, 8192)
-					n := runtime.Stack(buf, false)
-					errs[rank] = fmt.Errorf("spmd: rank %d panicked: %v\n%s", rank, rec, buf[:n])
-					w.bar.abort()
-				}
-			}()
-			c := &Comm{rank: rank, w: w}
-			if err := fn(c); err != nil {
-				errs[rank] = fmt.Errorf("spmd: rank %d: %w", rank, err)
-				w.bar.abort()
-			}
+			errs[rank] = runRank(w.rank(rank), model, fn)
 		}(r)
 	}
 	wg.Wait()
+	return firstError(errs)
+}
 
-	// Prefer a real failure over the secondary ErrAborted noise.
+// RunTransport executes fn as one rank of an externally-formed world (for
+// the in-process backend use Run, which forms the world itself). A
+// returned error or panic aborts the transport so peers blocked in
+// collectives unwind instead of deadlocking; ErrAborted from a peer's
+// failure is returned as such. The transport is closed on return.
+func RunTransport(tr Transport, model CommModel, fn func(*Comm) error) error {
+	defer tr.Close()
+	return runRank(tr, model, fn)
+}
+
+// commError marks a transport-level collective failure (torn connection,
+// protocol divergence): an expected distributed failure mode that should
+// surface as a one-line error, not a panic stack.
+type commError struct{ error }
+
+func (e commError) Unwrap() error { return e.error }
+
+// runRank runs fn on one rank, converting panics (including collective
+// aborts) into errors and poisoning the world on failure.
+func runRank(tr Transport, model CommModel, fn func(*Comm) error) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok && errors.Is(e, ErrAborted) {
+				err = e
+				return
+			}
+			if e, ok := rec.(commError); ok {
+				err = e.error
+				tr.Abort()
+				return
+			}
+			buf := make([]byte, 8192)
+			n := runtime.Stack(buf, false)
+			err = fmt.Errorf("spmd: rank %d panicked: %v\n%s", tr.Rank(), rec, buf[:n])
+			tr.Abort()
+		}
+	}()
+	c := &Comm{tr: tr, model: model}
+	if err := fn(c); err != nil {
+		tr.Abort()
+		return fmt.Errorf("spmd: rank %d: %w", tr.Rank(), err)
+	}
+	return nil
+}
+
+// firstError prefers a real failure over the secondary ErrAborted noise.
+func firstError(errs []error) error {
 	var aborted error
 	for _, err := range errs {
 		if err == nil {
@@ -164,57 +183,142 @@ func RunWithModel(p int, model CommModel, fn func(*Comm) error) error {
 	return aborted
 }
 
+// collectiveFailed unwinds a rank whose transport-level collective failed.
+// ErrAborted propagates as-is so Run's recovery recognizes a secondary
+// failure; anything else (a torn connection, a protocol violation) is
+// wrapped with the rank for diagnosis.
+func collectiveFailed(c *Comm, op string, err error) {
+	if errors.Is(err, ErrAborted) {
+		panic(err)
+	}
+	panic(commError{fmt.Errorf("spmd: rank %d: %s: %w", c.Rank(), op, err)})
+}
+
 // Barrier synchronizes all ranks and their virtual clocks.
 func (c *Comm) Barrier() {
 	start := time.Now()
-	t, _ := c.w.bar.await(c.clock, 0)
+	t, err := c.tr.Barrier(c.clock)
+	if err != nil {
+		collectiveFailed(c, "barrier", err)
+	}
 	c.clock = t + c.modelCollective()
 	c.stats.Collectives++
 	c.stats.ExchangeWall += time.Since(start)
 }
 
 func (c *Comm) modelCollective() float64 {
-	if c.w.model == nil {
+	if c.model == nil {
 		return 0
 	}
-	d := c.w.model.CollectiveTime()
+	d := c.model.CollectiveTime()
 	c.stats.ExchangeVirtual += d
 	return d
 }
 
-// elemSize reports the in-memory size of T's direct representation. Types
-// containing pointers (slices, strings) undercount payload bytes; use the
-// byte-flattening helpers in flatten.go for such payloads, as a real MPI
-// port would.
+// elemSize reports the in-memory size of T's direct representation.
 func elemSize[T any]() int {
 	var zero T
 	return int(unsafe.Sizeof(zero))
 }
 
+// podTypes caches which element types are plain old data (pointer-free),
+// i.e. safe to ship across an address-space boundary by reinterpreting
+// their memory. Keyed by reflect.Type, value bool.
+var podTypes sync.Map
+
+func isPOD[T any]() bool {
+	rt := reflect.TypeFor[T]()
+	if v, ok := podTypes.Load(rt); ok {
+		return v.(bool)
+	}
+	pod := rt.Size() > 0 && !hasPointers(rt)
+	podTypes.Store(rt, pod)
+	return pod
+}
+
+func hasPointers(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool, reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32,
+		reflect.Int64, reflect.Uint, reflect.Uint8, reflect.Uint16,
+		reflect.Uint32, reflect.Uint64, reflect.Uintptr, reflect.Float32,
+		reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return false
+	case reflect.Array:
+		return hasPointers(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if hasPointers(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// castToBytes reinterprets a []T as its raw bytes without copying.
+func castToBytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*elemSize[T]())
+}
+
+// castFromBytes turns raw bytes back into a []T. When shared, the bytes
+// are the sender's own []T memory (correctly aligned by construction) and
+// are reinterpreted in place, preserving the zero-copy semantics of the
+// in-process backend; otherwise the bytes arrived from another process and
+// are copied into a freshly allocated, properly aligned []T.
+func castFromBytes[T any](b []byte, shared bool) []T {
+	if len(b) == 0 {
+		return nil
+	}
+	size := elemSize[T]()
+	if len(b)%size != 0 {
+		panic(fmt.Sprintf("spmd: received %d bytes, not a multiple of element size %d", len(b), size))
+	}
+	n := len(b) / size
+	if shared {
+		return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]T, n)
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), len(b)), b)
+	return out
+}
+
 // Alltoallv performs an irregular all-to-all: rank i's send[j] is delivered
-// as rank j's recv[i]. send must have length Size. The received slices
-// alias the sender's memory (zero-copy, as intra-node MPI would); receivers
-// must not mutate them.
+// as rank j's recv[i]. send must have length Size. On the in-process
+// backend the received slices alias the sender's memory (zero-copy, as
+// intra-node MPI would); receivers must not mutate them. On serializing
+// backends T must be pointer-free (fixed-size integers, floats, or
+// structs/arrays of them) — variable-length payloads go through
+// AlltoallvPacked.
 func Alltoallv[T any](c *Comm, send [][]T) [][]T {
-	w := c.w
-	if len(send) != w.size {
-		panic(fmt.Sprintf("spmd: Alltoallv send length %d != world size %d", len(send), w.size))
+	p := c.Size()
+	if len(send) != p {
+		panic(fmt.Sprintf("spmd: Alltoallv send length %d != world size %d", len(send), p))
+	}
+	shared := c.tr.Shared()
+	if !shared && !isPOD[T]() {
+		panic(fmt.Sprintf("spmd: Alltoallv element type %T contains pointers and cannot cross an address-space boundary", *new(T)))
 	}
 	start := time.Now()
+	raw := make([][]byte, p)
 	var myBytes int64
-	for dst := 0; dst < w.size; dst++ {
-		w.cells[c.rank][dst] = send[dst]
-		myBytes += int64(len(send[dst]) * elemSize[T]())
+	for dst := 0; dst < p; dst++ {
+		raw[dst] = castToBytes(send[dst])
+		myBytes += int64(len(raw[dst]))
 	}
-	tmax, bmax := w.bar.await(c.clock, float64(myBytes))
-	recv := make([][]T, w.size)
-	for src := 0; src < w.size; src++ {
-		if v := w.cells[src][c.rank]; v != nil {
-			recv[src] = v.([]T)
-		}
+	rraw, tmax, bmax, err := c.tr.Alltoallv(raw, c.clock, float64(myBytes))
+	if err != nil {
+		collectiveFailed(c, "alltoallv", err)
 	}
-	t2, _ := w.bar.await(tmax, 0)
-	c.clock = t2 + c.modelAlltoallv(bmax)
+	recv := make([][]T, p)
+	for src := 0; src < p; src++ {
+		recv[src] = castFromBytes[T](rraw[src], shared)
+	}
+	c.clock = tmax + c.modelAlltoallv(bmax)
 	c.stats.Alltoallvs++
 	c.stats.BytesSent += myBytes
 	c.stats.ExchangeWall += time.Since(start)
@@ -222,10 +326,10 @@ func Alltoallv[T any](c *Comm, send [][]T) [][]T {
 }
 
 func (c *Comm) modelAlltoallv(maxBytes float64) float64 {
-	if c.w.model == nil {
+	if c.model == nil {
 		return 0
 	}
-	d := c.w.model.AlltoallvTime(c.stats.Alltoallvs, maxBytes)
+	d := c.model.AlltoallvTime(c.stats.Alltoallvs, maxBytes)
 	c.stats.ExchangeVirtual += d
 	return d
 }
@@ -234,15 +338,15 @@ func (c *Comm) modelAlltoallv(maxBytes float64) float64 {
 // becomes rank j's recv[i]. It matches MPI_Alltoall with count 1 and is
 // how the pipeline exchanges per-destination counts before an Alltoallv.
 func Alltoall[T any](c *Comm, send []T) []T {
-	if len(send) != c.w.size {
-		panic(fmt.Sprintf("spmd: Alltoall send length %d != world size %d", len(send), c.w.size))
+	if len(send) != c.Size() {
+		panic(fmt.Sprintf("spmd: Alltoall send length %d != world size %d", len(send), c.Size()))
 	}
-	per := make([][]T, c.w.size)
+	per := make([][]T, c.Size())
 	for i, v := range send {
 		per[i] = []T{v}
 	}
 	parts := Alltoallv(c, per)
-	out := make([]T, c.w.size)
+	out := make([]T, c.Size())
 	for i, p := range parts {
 		out[i] = p[0]
 	}
@@ -259,19 +363,42 @@ const (
 	OpMin
 )
 
-// reduce runs the shared-slot reduction protocol and returns this rank's
-// local view of all contributed values.
+// gatherVals runs the allgather protocol underlying the small collectives
+// and returns this rank's view of all contributed values, in rank order.
+// Shared-memory transports exchange the values directly; serializing
+// transports move them as gob blobs (values must be gob-encodable).
 func gatherVals[T any](c *Comm, v T) []T {
-	w := c.w
 	start := time.Now()
-	w.vals[c.rank] = v
-	t, _ := w.bar.await(c.clock, 0)
-	out := make([]T, w.size)
-	for i := 0; i < w.size; i++ {
-		out[i] = w.vals[i].(T)
+	var out []T
+	var tmax float64
+	if ag, ok := c.tr.(anyGatherer); ok {
+		vals, t, err := ag.AllgatherAny(v, c.clock)
+		if err != nil {
+			collectiveFailed(c, "allgather", err)
+		}
+		out = make([]T, len(vals))
+		for i, val := range vals {
+			out[i] = val.(T)
+		}
+		tmax = t
+	} else {
+		blob, err := encodeGob(&v)
+		if err != nil {
+			panic(fmt.Errorf("spmd: allgather encode %T: %w", v, err))
+		}
+		blobs, t, err := c.tr.Allgather(blob, c.clock)
+		if err != nil {
+			collectiveFailed(c, "allgather", err)
+		}
+		out = make([]T, len(blobs))
+		for i, blob := range blobs {
+			if err := decodeGob(blob, &out[i]); err != nil {
+				panic(fmt.Errorf("spmd: allgather decode from rank %d: %w", i, err))
+			}
+		}
+		tmax = t
 	}
-	t2, _ := w.bar.await(t, 0)
-	c.clock = t2 + c.modelCollective()
+	c.clock = tmax + c.modelCollective()
 	c.stats.Collectives++
 	c.stats.ExchangeWall += time.Since(start)
 	return out
@@ -319,12 +446,13 @@ func AllreduceF64(c *Comm, v float64, op Op) float64 {
 	return acc
 }
 
-// Allgather collects one value from every rank, ordered by rank.
+// Allgather collects one value from every rank, ordered by rank. On
+// serializing transports the value must be gob-encodable.
 func Allgather[T any](c *Comm, v T) []T { return gatherVals(c, v) }
 
 // Bcast distributes root's value to all ranks.
 func Bcast[T any](c *Comm, v T, root int) T {
-	if root < 0 || root >= c.w.size {
+	if root < 0 || root >= c.Size() {
 		panic(fmt.Sprintf("spmd: Bcast root %d out of range", root))
 	}
 	return gatherVals(c, v)[root]
@@ -335,19 +463,49 @@ func Bcast[T any](c *Comm, v T, root int) T {
 func ExclusiveScanI64(c *Comm, v int64) int64 {
 	vals := gatherVals(c, v)
 	var sum int64
-	for r := 0; r < c.rank; r++ {
+	for r := 0; r < c.Rank(); r++ {
 		sum += vals[r]
 	}
 	return sum
 }
 
+// GatherTo collects one gob-encodable value from every rank on root
+// (MPI_Gatherv): root receives all values in rank order, other ranks
+// receive nil. Unlike Allgather, non-root values travel only to root —
+// on a distributed backend that is 1x the payload over the wire instead
+// of (P-1)x. It is implemented as one irregular all-to-all (with empty
+// contributions everywhere but the root column), so its clock and
+// statistics accounting is identical on every backend.
+func GatherTo[T any](c *Comm, v T, root int) []T {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("spmd: GatherTo root %d out of range", root))
+	}
+	blob, err := encodeGob(&v)
+	if err != nil {
+		panic(fmt.Errorf("spmd: GatherTo encode %T: %w", v, err))
+	}
+	send := make([][]byte, c.Size())
+	send[root] = blob
+	recv := Alltoallv(c, send)
+	if c.Rank() != root {
+		return nil
+	}
+	out := make([]T, c.Size())
+	for i, b := range recv {
+		if err := decodeGob(b, &out[i]); err != nil {
+			panic(fmt.Errorf("spmd: GatherTo decode from rank %d: %w", i, err))
+		}
+	}
+	return out
+}
+
 // MaxReduceRegisters all-reduces HyperLogLog-style register arrays by
 // element-wise max; every rank receives a fresh merged array.
 //
-// The contribution is deep-copied before the gather: ranks read each
-// other's arrays after leaving the collective, so sharing the caller's
-// slice would race with any later mutation of it (e.g. installing the
-// merged result back into the sketch).
+// The contribution is deep-copied before the gather: on the shared-memory
+// backend ranks read each other's arrays after leaving the collective, so
+// sharing the caller's slice would race with any later mutation of it
+// (e.g. installing the merged result back into the sketch).
 func MaxReduceRegisters(c *Comm, regs []uint8) []uint8 {
 	private := append([]uint8(nil), regs...)
 	all := gatherVals(c, private)

@@ -1,0 +1,522 @@
+package spmd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP transport: one OS process (or goroutine, in tests) per rank,
+// exchanging length-prefixed frames over per-peer persistent connections.
+//
+// World formation is a rank-0 rendezvous, in the spirit of go-p2p's
+// swarm bootstrap: every rank opens a mesh listener, ranks 1..P-1 dial
+// rank 0 and introduce themselves (rank + listen address), and once all
+// have arrived rank 0 replies with the full address table. Rank i then
+// dials every rank 0 < j < i and accepts connections from every j > i, so
+// each unordered pair shares exactly one connection (the rendezvous
+// connection doubles as the rank-0 mesh edge).
+//
+// Each collective is one frame per peer in each direction, carrying the
+// sender's virtual clock and byte count in the header; since every rank
+// hears from every other rank, each computes the world maxima locally —
+// the same quantities the in-process barrier accumulates.
+
+// TCPConfig configures one rank's endpoint of a TCP world.
+type TCPConfig struct {
+	Rank int // this rank, in [0, Size)
+	Size int // world size P
+
+	// Rendezvous is rank 0's listen address (host:port). Required for
+	// ranks > 0, and for rank 0 unless Listener is set.
+	Rendezvous string
+
+	// Listener, when set on rank 0, is the pre-bound rendezvous socket.
+	// A launcher that forks workers binds port 0 first, passes the
+	// resolved address to the children, and hands the listener to its
+	// in-process rank 0 — no bind race.
+	Listener net.Listener
+
+	// ListenAddr is where ranks > 0 bind their mesh listener
+	// (default "127.0.0.1:0").
+	ListenAddr string
+
+	// Timeout bounds world formation: dials, handshakes, and the wait
+	// for slower ranks to arrive (default 30s). Collectives themselves
+	// never time out — BSP ranks legitimately wait on the slowest peer.
+	Timeout time.Duration
+}
+
+// helloMsg is the gob payload of a frameHello.
+type helloMsg struct {
+	Rank int
+	Addr string // mesh listen address (rendezvous connection only)
+}
+
+// peerMsg is carried on a peer's frame channel: one decoded frame or the
+// terminal receive error.
+type peerMsg struct {
+	f   frame
+	err error
+}
+
+// peerConn is one persistent rank-to-rank connection.
+type peerConn struct {
+	conn   net.Conn
+	wmu    sync.Mutex // serializes writes (collectives vs. abort)
+	bw     *bufio.Writer
+	frames chan peerMsg
+}
+
+type tcpTransport struct {
+	rank, size int
+	peers      []*peerConn // indexed by rank; nil at own index
+	seq        uint64      // collective sequence number
+
+	done     chan struct{} // closed on shutdown; unblocks readers/receivers
+	shutdown sync.Once
+	aborted  bool
+	amu      sync.Mutex
+}
+
+// DialTCP forms (this rank's endpoint of) a TCP world and returns once
+// every pairwise connection is established, i.e. when all ranks have
+// arrived. The transport is ready for collectives on return.
+func DialTCP(cfg TCPConfig) (Transport, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("spmd: world size %d must be positive", cfg.Size)
+	}
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("spmd: rank %d out of range [0,%d)", cfg.Rank, cfg.Size)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	t := &tcpTransport{
+		rank:  cfg.Rank,
+		size:  cfg.Size,
+		peers: make([]*peerConn, cfg.Size),
+		done:  make(chan struct{}),
+	}
+	deadline := time.Now().Add(cfg.Timeout)
+	var err error
+	if cfg.Rank == 0 {
+		err = t.formRoot(cfg, deadline)
+	} else {
+		err = t.formLeaf(cfg, deadline)
+	}
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	for r, p := range t.peers {
+		if r == t.rank {
+			continue
+		}
+		p.conn.SetDeadline(time.Time{})
+		go t.readLoop(p)
+	}
+	return t, nil
+}
+
+// formRoot runs rank 0's side of world formation: accept P-1 rendezvous
+// connections, learn every rank's mesh address, broadcast the table.
+func (t *tcpTransport) formRoot(cfg TCPConfig, deadline time.Time) error {
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Rendezvous)
+		if err != nil {
+			return fmt.Errorf("spmd: rank 0 rendezvous listen: %w", err)
+		}
+	}
+	defer ln.Close()
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	addrs := make([]string, t.size)
+	addrs[0] = ln.Addr().String()
+	for arrived := 1; arrived < t.size; arrived++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("spmd: rank 0 rendezvous accept (%d/%d ranks arrived): %w",
+				arrived, t.size, err)
+		}
+		hello, err := t.handshake(conn, deadline)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if err := t.admit(hello.Rank, conn); err != nil {
+			conn.Close()
+			return err
+		}
+		addrs[hello.Rank] = hello.Addr
+	}
+	table, err := encodeGob(addrs)
+	if err != nil {
+		return err
+	}
+	for r := 1; r < t.size; r++ {
+		p := t.peers[r]
+		if err := p.write(&frame{Type: framePeers, Payload: table}); err != nil {
+			return fmt.Errorf("spmd: rank 0 sending peer table to rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// formLeaf runs rank i>0's side: introduce ourselves to rank 0, learn the
+// address table, dial lower ranks, accept higher ones.
+func (t *tcpTransport) formLeaf(cfg TCPConfig, deadline time.Time) error {
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("spmd: rank %d mesh listen: %w", t.rank, err)
+	}
+	defer ln.Close()
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+
+	root, err := t.dialPeer(cfg.Rendezvous, helloMsg{Rank: t.rank, Addr: ln.Addr().String()}, deadline)
+	if err != nil {
+		return fmt.Errorf("spmd: rank %d dialing rendezvous %s: %w", t.rank, cfg.Rendezvous, err)
+	}
+	if err := t.admit(0, root); err != nil {
+		root.Close()
+		return err
+	}
+	// Read the table unbuffered: rank 0 may already be streaming
+	// collective frames behind it, and a throwaway buffered reader would
+	// swallow their first bytes.
+	root.SetReadDeadline(deadline)
+	pf, err := readFrame(root)
+	if err != nil {
+		return fmt.Errorf("spmd: rank %d awaiting peer table: %w", t.rank, err)
+	}
+	if pf.Type != framePeers {
+		return fmt.Errorf("spmd: rank %d expected peer table, got frame type %d", t.rank, pf.Type)
+	}
+	var addrs []string
+	if err := decodeGob(pf.Payload, &addrs); err != nil {
+		return fmt.Errorf("spmd: rank %d decoding peer table: %w", t.rank, err)
+	}
+	if len(addrs) != t.size {
+		return fmt.Errorf("spmd: rank %d peer table has %d entries, want %d", t.rank, len(addrs), t.size)
+	}
+
+	for r := 1; r < t.rank; r++ {
+		conn, err := t.dialPeer(addrs[r], helloMsg{Rank: t.rank}, deadline)
+		if err != nil {
+			return fmt.Errorf("spmd: rank %d dialing rank %d at %s: %w", t.rank, r, addrs[r], err)
+		}
+		if err := t.admit(r, conn); err != nil {
+			conn.Close()
+			return err
+		}
+	}
+	for need := t.size - 1 - t.rank; need > 0; need-- {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("spmd: rank %d mesh accept: %w", t.rank, err)
+		}
+		hello, err := t.handshake(conn, deadline)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if hello.Rank <= t.rank {
+			conn.Close()
+			return fmt.Errorf("spmd: rank %d got mesh dial from lower rank %d", t.rank, hello.Rank)
+		}
+		if err := t.admit(hello.Rank, conn); err != nil {
+			conn.Close()
+			return err
+		}
+	}
+	return nil
+}
+
+// dialPeer connects to addr and sends our hello.
+func (t *tcpTransport) dialPeer(addr string, hello helloMsg, deadline time.Time) (net.Conn, error) {
+	conn, err := (&net.Dialer{Deadline: deadline}).Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := encodeGob(hello)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetWriteDeadline(deadline)
+	if err := writeFrame(conn, &frame{Type: frameHello, Payload: payload}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("spmd: sending hello: %w", err)
+	}
+	return conn, nil
+}
+
+// handshake reads and validates the dialer's hello.
+func (t *tcpTransport) handshake(conn net.Conn, deadline time.Time) (helloMsg, error) {
+	conn.SetReadDeadline(deadline)
+	f, err := readFrame(conn)
+	if err != nil {
+		return helloMsg{}, fmt.Errorf("spmd: rank %d reading hello: %w", t.rank, err)
+	}
+	if f.Type != frameHello {
+		return helloMsg{}, fmt.Errorf("spmd: rank %d expected hello, got frame type %d", t.rank, f.Type)
+	}
+	var hello helloMsg
+	if err := decodeGob(f.Payload, &hello); err != nil {
+		return helloMsg{}, fmt.Errorf("spmd: rank %d decoding hello: %w", t.rank, err)
+	}
+	if hello.Rank < 0 || hello.Rank >= t.size {
+		return helloMsg{}, fmt.Errorf("spmd: hello from out-of-range rank %d", hello.Rank)
+	}
+	return hello, nil
+}
+
+// admit installs a newly established connection as the peer edge for rank r.
+func (t *tcpTransport) admit(r int, conn net.Conn) error {
+	if r == t.rank {
+		return fmt.Errorf("spmd: rank %d connected to itself", r)
+	}
+	if t.peers[r] != nil {
+		return fmt.Errorf("spmd: duplicate connection for rank %d", r)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	t.peers[r] = &peerConn{
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+		// Capacity 2: a BSP peer can run at most one collective ahead
+		// (it cannot finish collective n+1 before we send our frame),
+		// so the reader never parks on a full channel in normal runs.
+		frames: make(chan peerMsg, 2),
+	}
+	return nil
+}
+
+// write sends one frame on the peer connection, serialized against
+// concurrent abort notifications.
+func (p *peerConn) write(f *frame) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if err := writeFrame(p.bw, f); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// readLoop decodes frames from one peer for the life of the world,
+// delivering them (or the terminal error) to the collective receive path.
+func (t *tcpTransport) readLoop(p *peerConn) {
+	br := bufio.NewReaderSize(p.conn, 64<<10)
+	for {
+		f, err := readFrame(br)
+		var msg peerMsg
+		switch {
+		case err != nil:
+			msg = peerMsg{err: fmt.Errorf("spmd: peer connection lost: %w", err)}
+		case f.Type == frameAbort:
+			msg = peerMsg{err: ErrAborted}
+		case f.Type == frameColl:
+			msg = peerMsg{f: f}
+		default:
+			msg = peerMsg{err: fmt.Errorf("spmd: unexpected frame type %d mid-world", f.Type)}
+		}
+		select {
+		case p.frames <- msg:
+		case <-t.done:
+			return
+		}
+		if msg.err != nil {
+			close(p.frames)
+			return
+		}
+	}
+}
+
+// recvColl receives the next collective frame from rank src, enforcing the
+// sequence number so diverged collective schedules fail loudly instead of
+// delivering wrong data.
+func (t *tcpTransport) recvColl(src int, seq uint64) (frame, error) {
+	select {
+	case m, ok := <-t.peers[src].frames:
+		if !ok {
+			return frame{}, fmt.Errorf("spmd: rank %d connection already failed", src)
+		}
+		if m.err != nil {
+			return frame{}, m.err
+		}
+		if m.f.Seq != seq {
+			return frame{}, fmt.Errorf("spmd: rank %d sent collective #%d, expected #%d (collective schedules diverged)",
+				src, m.f.Seq, seq)
+		}
+		return m.f, nil
+	case <-t.done:
+		return frame{}, ErrAborted
+	}
+}
+
+// exchange is the shared engine of every collective: send send[dst] to
+// each peer with this rank's (clock, bytes) in the header, receive one
+// frame from each peer, and fold the world maxima. send[rank] is returned
+// in place as recv[rank].
+func (t *tcpTransport) exchange(send [][]byte, clock, sentBytes float64) ([][]byte, float64, float64, error) {
+	if t.isAborted() {
+		return nil, 0, 0, ErrAborted
+	}
+	seq := t.seq
+	t.seq++
+	recv := make([][]byte, t.size)
+	recv[t.rank] = send[t.rank]
+
+	writeErrs := make([]error, t.size)
+	var wg sync.WaitGroup
+	for dst := 0; dst < t.size; dst++ {
+		if dst == t.rank {
+			continue
+		}
+		wg.Add(1)
+		go func(dst int) {
+			defer wg.Done()
+			writeErrs[dst] = t.peers[dst].write(&frame{
+				Type: frameColl, Seq: seq,
+				Clock: clock, Bytes: sentBytes,
+				Payload: send[dst],
+			})
+		}(dst)
+	}
+
+	maxClock, maxBytes := clock, sentBytes
+	var collErr error
+	for src := 0; src < t.size; src++ {
+		if src == t.rank {
+			continue
+		}
+		f, err := t.recvColl(src, seq)
+		if err != nil {
+			collErr = err
+			break
+		}
+		recv[src] = f.Payload
+		if f.Clock > maxClock {
+			maxClock = f.Clock
+		}
+		if f.Bytes > maxBytes {
+			maxBytes = f.Bytes
+		}
+	}
+	if collErr == nil {
+		wg.Wait()
+		for _, err := range writeErrs {
+			if err != nil {
+				collErr = fmt.Errorf("spmd: collective send failed: %w", err)
+				break
+			}
+		}
+		if collErr == nil {
+			return recv, maxClock, maxBytes, nil
+		}
+	}
+	// Failure path. Classify before tearing down (Abort sets the flag we
+	// map to ErrAborted), then abort the world so writer goroutines still
+	// blocked on a wedged peer unwind before we return.
+	if t.isAborted() || errors.Is(collErr, ErrAborted) {
+		collErr = ErrAborted
+	}
+	t.Abort()
+	wg.Wait()
+	return nil, 0, 0, collErr
+}
+
+func (t *tcpTransport) Rank() int    { return t.rank }
+func (t *tcpTransport) Size() int    { return t.size }
+func (t *tcpTransport) Shared() bool { return false }
+
+func (t *tcpTransport) Alltoallv(send [][]byte, clock, sentBytes float64) ([][]byte, float64, float64, error) {
+	return t.exchange(send, clock, sentBytes)
+}
+
+func (t *tcpTransport) Allgather(blob []byte, clock float64) ([][]byte, float64, error) {
+	send := make([][]byte, t.size)
+	for i := range send {
+		send[i] = blob
+	}
+	recv, maxClock, _, err := t.exchange(send, clock, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return recv, maxClock, nil
+}
+
+func (t *tcpTransport) Barrier(clock float64) (float64, error) {
+	_, maxClock, _, err := t.exchange(make([][]byte, t.size), clock, 0)
+	return maxClock, err
+}
+
+func (t *tcpTransport) isAborted() bool {
+	t.amu.Lock()
+	defer t.amu.Unlock()
+	return t.aborted
+}
+
+// Abort poisons the world: peers are notified best-effort with an abort
+// frame, then every connection is torn down. Ranks blocked in collectives
+// (local or remote) unwind with ErrAborted.
+func (t *tcpTransport) Abort() {
+	t.amu.Lock()
+	t.aborted = true
+	t.amu.Unlock()
+	t.shutdown.Do(func() {
+		abort := &frame{Type: frameAbort}
+		for r, p := range t.peers {
+			if r == t.rank || p == nil {
+				continue
+			}
+			p.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			p.write(abort) // best-effort; the close below is the backstop
+		}
+		t.teardown()
+	})
+}
+
+// Close releases the transport. It is the graceful shutdown — by BSP
+// discipline all ranks have completed the same collectives, so closing
+// cannot strand a peer mid-exchange.
+func (t *tcpTransport) Close() error {
+	t.shutdown.Do(t.teardown)
+	return nil
+}
+
+func (t *tcpTransport) teardown() {
+	close(t.done)
+	for r, p := range t.peers {
+		if r == t.rank || p == nil {
+			continue
+		}
+		p.conn.Close()
+	}
+}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

@@ -1,0 +1,432 @@
+package spmd
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runTCPWorld forms a Size-p TCP world on the loopback interface, one
+// goroutine per rank (each with its own transport and real sockets), runs
+// fn on every rank via RunTransport, and returns the world error exactly
+// as RunWithModel would.
+func runTCPWorld(t *testing.T, p int, model CommModel, fn func(*Comm) error) error {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("rendezvous listen: %v", err)
+	}
+	rendezvous := ln.Addr().String()
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg := TCPConfig{
+				Rank: rank, Size: p, Rendezvous: rendezvous,
+				Timeout: 20 * time.Second,
+			}
+			if rank == 0 {
+				cfg.Listener = ln
+			}
+			tr, err := DialTCP(cfg)
+			if err != nil {
+				errs[rank] = fmt.Errorf("rank %d: DialTCP: %w", rank, err)
+				return
+			}
+			errs[rank] = RunTransport(tr, model, fn)
+		}(r)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+func TestTCPAlltoallvTranspose(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		err := runTCPWorld(t, p, nil, func(c *Comm) error {
+			send := make([][]int32, p)
+			for dst := 0; dst < p; dst++ {
+				n := (c.Rank()+dst)%3 + 1
+				for k := 0; k < n; k++ {
+					send[dst] = append(send[dst], int32(c.Rank()*1000+dst*10+k))
+				}
+			}
+			recv := Alltoallv(c, send)
+			for src := 0; src < p; src++ {
+				n := (src+c.Rank())%3 + 1
+				if len(recv[src]) != n {
+					return fmt.Errorf("rank %d: recv[%d] has %d items, want %d",
+						c.Rank(), src, len(recv[src]), n)
+				}
+				for k, v := range recv[src] {
+					if want := int32(src*1000 + c.Rank()*10 + k); v != want {
+						return fmt.Errorf("rank %d: recv[%d][%d] = %d, want %d",
+							c.Rank(), src, k, v, want)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestTCPSmallCollectives(t *testing.T) {
+	const p = 4
+	err := runTCPWorld(t, p, nil, func(c *Comm) error {
+		if got := AllreduceI64(c, int64(c.Rank()), OpSum); got != p*(p-1)/2 {
+			return fmt.Errorf("sum = %d", got)
+		}
+		if got := AllreduceF64(c, float64(c.Rank()), OpMax); got != p-1 {
+			return fmt.Errorf("fmax = %v", got)
+		}
+		gathered := Allgather(c, fmt.Sprintf("rank-%d", c.Rank()))
+		for i, s := range gathered {
+			if s != fmt.Sprintf("rank-%d", i) {
+				return fmt.Errorf("Allgather[%d] = %q", i, s)
+			}
+		}
+		if v := Bcast(c, c.Rank()+50, 2); v != 52 {
+			return fmt.Errorf("Bcast = %d", v)
+		}
+		if scan := ExclusiveScanI64(c, 10); scan != int64(c.Rank()*10) {
+			return fmt.Errorf("scan = %d", scan)
+		}
+		regs := []uint8{byte(c.Rank()), byte(3 - c.Rank()), 7}
+		out := MaxReduceRegisters(c, regs)
+		if out[0] != 3 || out[1] != 3 || out[2] != 7 {
+			return fmt.Errorf("MaxReduceRegisters = %v", out)
+		}
+		c.Barrier()
+		if st := c.Stats(); st.Collectives != 7 {
+			return fmt.Errorf("collectives = %d, want 7", st.Collectives)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherToBothBackends(t *testing.T) {
+	const p, root = 4, 2
+	program := func(c *Comm) error {
+		got := GatherTo(c, fmt.Sprintf("r%d", c.Rank()), root)
+		if c.Rank() != root {
+			if got != nil {
+				return fmt.Errorf("rank %d: non-root received %v", c.Rank(), got)
+			}
+			return nil
+		}
+		for i, s := range got {
+			if s != fmt.Sprintf("r%d", i) {
+				return fmt.Errorf("root got[%d] = %q", i, s)
+			}
+		}
+		return nil
+	}
+	if err := Run(p, program); err != nil {
+		t.Fatalf("mem backend: %v", err)
+	}
+	if err := runTCPWorld(t, p, nil, program); err != nil {
+		t.Fatalf("tcp backend: %v", err)
+	}
+}
+
+func TestTCPPackedExchange(t *testing.T) {
+	const p = 3
+	err := runTCPWorld(t, p, nil, func(c *Comm) error {
+		send := make([]PackedBufs, p)
+		for dst := 0; dst < p; dst++ {
+			send[dst].AppendItem([]byte(fmt.Sprintf("from%d-to%d", c.Rank(), dst)))
+			send[dst].AppendItem(nil)
+			send[dst].AppendItem([]byte{byte(c.Rank()), byte(dst)})
+		}
+		recv := AlltoallvPacked(c, send)
+		for src := 0; src < p; src++ {
+			items := recv[src].Items()
+			if len(items) != 3 {
+				return fmt.Errorf("recv[%d]: %d items", src, len(items))
+			}
+			if want := fmt.Sprintf("from%d-to%d", src, c.Rank()); string(items[0]) != want {
+				return fmt.Errorf("recv[%d][0] = %q, want %q", src, items[0], want)
+			}
+			if len(items[1]) != 0 {
+				return fmt.Errorf("recv[%d][1] = %v, want empty", src, items[1])
+			}
+			if items[2][0] != byte(src) || items[2][1] != byte(c.Rank()) {
+				return fmt.Errorf("recv[%d][2] = %v", src, items[2])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPMatchesMemTransport runs the same randomized exchange program on
+// both backends and requires bit-identical results — the loopback
+// equivalence the transports promise.
+func TestTCPMatchesMemTransport(t *testing.T) {
+	const p = 4
+	const iters = 5
+	// program produces, per rank, a deterministic digest of everything
+	// received; both backends must agree exactly.
+	program := func(c *Comm, digests [][]byte) error {
+		rng := rand.New(rand.NewSource(int64(c.Rank()) + 1))
+		var out bytes.Buffer
+		for it := 0; it < iters; it++ {
+			send := make([][]uint64, p)
+			for dst := 0; dst < p; dst++ {
+				n := rng.Intn(6)
+				for k := 0; k < n; k++ {
+					send[dst] = append(send[dst], rng.Uint64())
+				}
+			}
+			recv := Alltoallv(c, send)
+			for src := 0; src < p; src++ {
+				fmt.Fprintf(&out, "%d/%d:%x;", it, src, recv[src])
+			}
+			total := AllreduceI64(c, int64(len(recv[c.Rank()])), OpSum)
+			fmt.Fprintf(&out, "sum=%d;", total)
+		}
+		digests[c.Rank()] = out.Bytes()
+		return nil
+	}
+	memDigests := make([][]byte, p)
+	if err := Run(p, func(c *Comm) error { return program(c, memDigests) }); err != nil {
+		t.Fatalf("mem backend: %v", err)
+	}
+	tcpDigests := make([][]byte, p)
+	if err := runTCPWorld(t, p, nil, func(c *Comm) error { return program(c, tcpDigests) }); err != nil {
+		t.Fatalf("tcp backend: %v", err)
+	}
+	for r := 0; r < p; r++ {
+		if !bytes.Equal(memDigests[r], tcpDigests[r]) {
+			t.Errorf("rank %d digests differ:\n mem: %s\n tcp: %s", r, memDigests[r], tcpDigests[r])
+		}
+	}
+}
+
+// TestTCPVirtualClockMatchesMem checks BSP clock synchronization is
+// transport-independent: the same modeled program yields the same clocks.
+func TestTCPVirtualClockMatchesMem(t *testing.T) {
+	const p = 4
+	program := func(c *Comm) error {
+		c.Tick(float64(c.Rank()))
+		c.Barrier()
+		if c.Now() != 3.5 {
+			return fmt.Errorf("rank %d clock = %v after barrier, want 3.5", c.Rank(), c.Now())
+		}
+		send := make([][]byte, p)
+		send[(c.Rank()+1)%p] = make([]byte, 100*(c.Rank()+1))
+		Alltoallv(c, send)
+		want := 3.5 + 2.0 + 0.4 // first-call penalty + busiest sender 400B
+		if diff := c.Now() - want; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("rank %d clock = %v, want %v", c.Rank(), c.Now(), want)
+		}
+		return nil
+	}
+	if err := RunWithModel(p, fakeModel{}, program); err != nil {
+		t.Fatalf("mem backend: %v", err)
+	}
+	if err := runTCPWorld(t, p, fakeModel{}, program); err != nil {
+		t.Fatalf("tcp backend: %v", err)
+	}
+}
+
+func TestTCPPeerFailureAbortsWorld(t *testing.T) {
+	err := runTCPWorld(t, 4, nil, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return errors.New("boom")
+		}
+		// The healthy ranks park in collectives; rank 2's abort must
+		// unblock them rather than deadlock.
+		AllreduceI64(c, 1, OpSum)
+		c.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected world error")
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v, want the originating failure", err)
+	}
+}
+
+func TestTCPPeerPanicAbortsWorld(t *testing.T) {
+	err := runTCPWorld(t, 3, nil, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("kaput")
+		}
+		c.Barrier()
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaput") {
+		t.Fatalf("err = %v, want panic surfaced", err)
+	}
+}
+
+func TestTCPAbortedCollectiveReturnsErrAborted(t *testing.T) {
+	// Direct transport-level check: rank 1 aborts while rank 0 is blocked
+	// waiting for its contribution.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := make([]Transport, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg := TCPConfig{Rank: rank, Size: 2, Rendezvous: ln.Addr().String()}
+			if rank == 0 {
+				cfg.Listener = ln
+			}
+			tr, err := DialTCP(cfg)
+			if err != nil {
+				t.Errorf("rank %d: %v", rank, err)
+				return
+			}
+			trs[rank] = tr
+		}(r)
+	}
+	wg.Wait()
+	if trs[0] == nil || trs[1] == nil {
+		t.Fatal("world formation failed")
+	}
+	defer trs[0].Close()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		trs[1].Abort()
+	}()
+	_, _, _, err = trs[0].Alltoallv(make([][]byte, 2), 0, 0)
+	if !errors.Is(err, ErrAborted) {
+		t.Errorf("blocked collective returned %v, want ErrAborted", err)
+	}
+	// Subsequent collectives on the aborted world fail fast, too.
+	if _, err := trs[1].Barrier(0); !errors.Is(err, ErrAborted) {
+		t.Errorf("collective after local abort returned %v, want ErrAborted", err)
+	}
+}
+
+func TestTCPRejectsPointerElementTypes(t *testing.T) {
+	err := runTCPWorld(t, 2, nil, func(c *Comm) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("Alltoallv of []string over TCP did not panic")
+			}
+		}()
+		Alltoallv(c, make([][]string, 2))
+		return nil
+	})
+	if !errors.Is(err, ErrAborted) && err != nil && !strings.Contains(err.Error(), "pointers") {
+		t.Logf("world error (expected abort noise): %v", err)
+	}
+}
+
+func TestDialTCPValidation(t *testing.T) {
+	if _, err := DialTCP(TCPConfig{Rank: 0, Size: 0}); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := DialTCP(TCPConfig{Rank: 3, Size: 2, Rendezvous: "127.0.0.1:1"}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+func TestDialTCPTimesOutWithoutPeers(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	_, err = DialTCP(TCPConfig{
+		Rank: 0, Size: 2, Listener: ln,
+		Timeout: 200 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("rank 0 formed a world with no peers")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []frame{
+		{Type: frameColl, Seq: 0, Clock: 0, Bytes: 0, Payload: nil},
+		{Type: frameColl, Seq: 42, Clock: 1.25, Bytes: 4096, Payload: []byte("hello world")},
+		{Type: frameHello, Payload: bytes.Repeat([]byte{0xAB}, 1<<16)},
+		{Type: frameAbort, Seq: ^uint64(0), Clock: -1.5, Bytes: 1e308},
+	}
+	for i, f := range cases {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, &f); err != nil {
+			t.Fatalf("case %d: write: %v", i, err)
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("case %d: read: %v", i, err)
+		}
+		if got.Type != f.Type || got.Seq != f.Seq || got.Clock != f.Clock || got.Bytes != f.Bytes {
+			t.Errorf("case %d: header mismatch: got %+v want %+v", i, got, f)
+		}
+		if !bytes.Equal(got.Payload, f.Payload) {
+			t.Errorf("case %d: payload mismatch (%d vs %d bytes)", i, len(got.Payload), len(f.Payload))
+		}
+		if buf.Len() != 0 {
+			t.Errorf("case %d: %d trailing bytes", i, buf.Len())
+		}
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	// Bad magic.
+	var buf bytes.Buffer
+	writeFrame(&buf, &frame{Type: frameColl})
+	raw := buf.Bytes()
+	raw[0] ^= 0xFF
+	if _, err := readFrame(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: err = %v", err)
+	}
+
+	// Unknown type.
+	buf.Reset()
+	writeFrame(&buf, &frame{Type: frameColl})
+	raw = buf.Bytes()
+	raw[2] = 99
+	if _, err := readFrame(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "type") {
+		t.Errorf("bad type: err = %v", err)
+	}
+
+	// Oversized length prefix must fail before allocating.
+	buf.Reset()
+	writeFrame(&buf, &frame{Type: frameColl})
+	raw = buf.Bytes()
+	raw[27], raw[28], raw[29], raw[30] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := readFrame(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("oversize: err = %v", err)
+	}
+
+	// Truncated payload.
+	buf.Reset()
+	writeFrame(&buf, &frame{Type: frameColl, Payload: []byte("abcdef")})
+	raw = buf.Bytes()[:buf.Len()-3]
+	if _, err := readFrame(bytes.NewReader(raw)); err == nil {
+		t.Error("truncated payload: expected error")
+	}
+
+	// Oversized write is refused symmetrically.
+	tooBig := frame{Type: frameColl, Payload: make([]byte, maxFramePayload+1)}
+	if err := writeFrame(&bytes.Buffer{}, &tooBig); err == nil {
+		t.Error("oversize write accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package spmd
+
+// Transport is the byte-level communication substrate one rank uses to
+// participate in an SPMD world. The typed collectives in this package
+// (Alltoallv, Allgather, reductions, ...) are built on top of it, so the
+// same pipeline code runs over any backend:
+//
+//   - the in-process transport (goroutine ranks over a shared exchange
+//     matrix; the default, created by Run/RunWithModel), and
+//   - the TCP transport (one OS process per rank, length-prefixed frames
+//     over per-peer persistent connections; created by DialTCP).
+//
+// Every collective doubles as the BSP synchronization point, so alongside
+// the payload each method carries this rank's virtual clock and returns the
+// maximum clock across the world (plus, for Alltoallv, the busiest
+// sender's byte count — the quantity the communication model prices).
+//
+// Collective calls must be issued in the same order by every rank; a
+// Transport may detect divergence (the TCP backend does, via sequence
+// numbers) but is not required to.
+type Transport interface {
+	// Rank returns this rank's index in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the world.
+	Size() int
+
+	// Alltoallv delivers send[dst] to rank dst; recv[src] is the buffer
+	// rank src addressed to this rank (nil for empty contributions).
+	// clock and sentBytes are this rank's BSP contributions; maxClock and
+	// maxBytes are their maxima over all ranks.
+	Alltoallv(send [][]byte, clock, sentBytes float64) (recv [][]byte, maxClock, maxBytes float64, err error)
+
+	// Allgather distributes blob to every rank, returning all ranks'
+	// blobs in rank order along with the clock maximum.
+	Allgather(blob []byte, clock float64) (blobs [][]byte, maxClock float64, err error)
+
+	// Barrier synchronizes all ranks and returns the clock maximum.
+	Barrier(clock float64) (maxClock float64, err error)
+
+	// Abort poisons the world: ranks blocked in (or later entering) a
+	// collective fail with ErrAborted instead of deadlocking. Safe to
+	// call concurrently with collectives and more than once.
+	Abort()
+
+	// Close releases the transport's resources. On a distributed backend
+	// it is the graceful shutdown (all ranks have finished the same
+	// collective sequence); it does not abort peers.
+	Close() error
+
+	// Shared reports whether buffers returned by collectives alias the
+	// sender's memory (true for the in-process backend). When false the
+	// buffers crossed an address-space boundary and the typed layer must
+	// treat element types containing pointers as unserializable.
+	Shared() bool
+}
+
+// anyGatherer is an optional fast path for transports whose ranks share an
+// address space: values are exchanged as interface values with no
+// serialization at all, preserving the zero-cost semantics the in-process
+// runtime always had. Serializing transports simply don't implement it and
+// the typed layer falls back to gob over Allgather.
+type anyGatherer interface {
+	AllgatherAny(v any, clock float64) (vals []any, maxClock float64, err error)
+}
