@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,7 @@ func main() {
 		anomaly    = flag.Bool("cori-anomaly", true, "inject the paper's Cori 16-node interference spike")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		benchOut   = flag.String("bench-out", "", "run the sync-vs-async exchange benchmark and write its JSON snapshot to this path (skips -experiment)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,23 @@ func main() {
 	o.InjectCoriAnomaly = *anomaly
 	if !*quiet {
 		o.Progress = os.Stderr
+	}
+
+	if *benchOut != "" {
+		res, err := figures.ExchangeBench(o)
+		if err != nil {
+			fatal(err)
+		}
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*benchOut, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(blob)
+		return
 	}
 
 	ids := figures.ExperimentIDs()

@@ -57,6 +57,9 @@ func main() {
 		nodes    = flag.Int("nodes", 1, "modeled node count (with -platform)")
 		showBrk  = flag.Bool("breakdown", false, "print the per-stage time breakdown")
 
+		asyncEx  = flag.Bool("async-exchange", true, "overlap exchanges with computation via non-blocking collectives (same output; disable for the paper's bulk-synchronous schedule)")
+		allSeeds = flag.Bool("keep-all-seed-alignments", false, "emit one PAF row per explored seed instead of the best per (pair, strand)")
+
 		transport  = flag.String("transport", "mem", "spmd backend: mem (goroutine ranks) | tcp (one OS process per rank)")
 		rank       = flag.Int("rank", -1, "internal: this worker process's rank (set by the tcp launcher)")
 		rendezvous = flag.String("rendezvous", "", "internal: rank-0 rendezvous address (set by the tcp launcher)")
@@ -86,6 +89,10 @@ func main() {
 		MinDist: *minDist, XDrop: *xdrop, MinAlignScore: *minScore,
 		ErrorRate: *errRate, Coverage: *coverage, GenomeEst: *genome,
 		UseHLL: *useHLL, KeepAlignments: true,
+		KeepAllSeedAlignments: *allSeeds,
+	}
+	if !*asyncEx {
+		cfg.Exchange = pipeline.ExchangeSync
 	}
 	switch *seedMode {
 	case "one":
@@ -236,7 +243,7 @@ func reapWorkers(workers []*exec.Cmd) {
 }
 
 func printBreakdown(rep *pipeline.Report) {
-	headers := []string{"stage", "wall", "modeled s", "exchange s"}
+	headers := []string{"stage", "wall", "modeled s", "exchange s", "overlapped s"}
 	var rows [][]string
 	for _, s := range pipeline.Stages {
 		rows = append(rows, []string{
@@ -244,6 +251,7 @@ func printBreakdown(rep *pipeline.Report) {
 			rep.StageWall(s).String(),
 			fmt.Sprintf("%.4f", rep.StageVirtual(s)),
 			fmt.Sprintf("%.4f", rep.StageExchangeVirtual(s)),
+			fmt.Sprintf("%.4f", rep.StageOverlapVirtual(s)),
 		})
 	}
 	fmt.Fprint(os.Stderr, stats.FormatTable(headers, rows))

@@ -57,6 +57,14 @@ const (
 	AllSeeds    = overlap.AllSeeds
 )
 
+// Exchange scheduling modes: non-blocking overlapped exchanges (the
+// default) or the paper's bulk-synchronous schedule. Both produce
+// byte-identical PAF.
+const (
+	ExchangeAsync = pipeline.ExchangeAsync
+	ExchangeSync  = pipeline.ExchangeSync
+)
+
 // The paper's evaluated platforms (Table 1).
 var (
 	Cori   = machine.Cori

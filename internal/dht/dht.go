@@ -122,6 +122,13 @@ type Config struct {
 	// cutting exchange volume by ~(w+1)/2 at a small recall cost.
 	// 0 or 1 disables.
 	MinimizerWindow int
+
+	// Async schedules each pass's exchanges as non-blocking collectives:
+	// round r+1 is packed and posted while round r's exchange is still in
+	// flight and round r's received k-mers are inserted after it lands, so
+	// exchange cost is hidden under local work (modeled as max rather than
+	// sum). The inserted data is identical to the blocking schedule.
+	Async bool
 }
 
 func (cfg *Config) setDefaults() error {
@@ -202,13 +209,24 @@ func Build(c *spmd.Comm, model *machine.Model, reads LocalReads, cfg Config) (*P
 	pr := pricer{c: c, model: model}
 	stats := BuildStats{}
 
-	// Agree on the global round count.
+	// Agree on the global round count from what each rank will actually
+	// stream: a minimizer run ships only the (w,k)-minimizers, so sizing
+	// rounds by the full k-mer count would schedule ~(w+1)/2 empty
+	// all-to-all rounds per pass. The full bag count still sizes the Bloom
+	// filter (Eq. 2 is stated over k-mer instances).
 	localKmers := int64(0)
 	for _, s := range reads.Seqs {
 		localKmers += int64(kmer.Count(len(s), cfg.K))
 	}
+	localUnits := localKmers
+	if cfg.MinimizerWindow > 1 {
+		localUnits = 0
+		for _, s := range reads.Seqs {
+			localUnits += int64(kmer.MinimizerCount(s, cfg.K, cfg.MinimizerWindow))
+		}
+	}
 	rounds := int(spmd.AllreduceI64(c,
-		(localKmers+int64(cfg.MaxKmersPerRound)-1)/int64(cfg.MaxKmersPerRound),
+		(localUnits+int64(cfg.MaxKmersPerRound)-1)/int64(cfg.MaxKmersPerRound),
 		spmd.OpMax))
 	globalBag := spmd.AllreduceI64(c, localKmers, spmd.OpSum)
 
@@ -317,6 +335,52 @@ func (s *stream) next() (kmer.Extracted, bool) {
 	}
 }
 
+// addComm accumulates one collective's exchange and overlap cost into the
+// stage breakdown from Comm stats snapshots taken around it.
+func (st *StageStats) addComm(pre, post spmd.Stats) {
+	st.ExchangeVirtual += post.ExchangeVirtual - pre.ExchangeVirtual
+	st.OverlapVirtual += post.OverlapVirtual - pre.OverlapVirtual
+	st.ExchangeWall += post.ExchangeWall - pre.ExchangeWall
+	st.OverlapWall += post.OverlapWall - pre.OverlapWall
+}
+
+// runRounds drives one pass's exchange rounds. pack produces the next
+// round's send buffers (charging parse/pack time to st), process consumes
+// one round's received batches. With cfg.Async the rounds are pipelined:
+// round r+1 is packed and posted while round r's exchange is in flight,
+// and processing round r overlaps round r+1's exchange — the paper's
+// pack → exchange → process sum becomes max(exchange, local). The
+// process calls see identical data in identical order either way.
+//
+// Exchange/overlap accounting snapshots Comm stats once around the whole
+// pass: pack and process only tick local time, so every stats delta in
+// the window belongs to the pass's exchanges (including posting costs).
+func runRounds[T any](c *spmd.Comm, st *StageStats, cfg Config, rounds int,
+	pack func() [][]T, process func([][]T)) {
+
+	pre := c.Stats()
+	defer func() { st.addComm(pre, c.Stats()) }()
+	// A single-round pass has nothing to pipeline — posting cost would be
+	// pure loss — so the non-blocking schedule needs at least two rounds.
+	if !cfg.Async || rounds < 2 {
+		for round := 0; round < rounds; round++ {
+			send := pack()
+			process(spmd.Alltoallv(c, send))
+		}
+		return
+	}
+	h := spmd.IAlltoallv(c, pack())
+	for round := 0; round < rounds; round++ {
+		var next *spmd.Handle[T]
+		if round+1 < rounds {
+			next = spmd.IAlltoallv(c, pack())
+		}
+		recv := h.Wait()
+		process(recv)
+		h = next
+	}
+}
+
 // bloomPass streams k-mer keys to their owners and populates the Bloom
 // filter, seeding the table with keys seen (probably) more than once.
 func bloomPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int,
@@ -328,8 +392,7 @@ func bloomPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int
 	ws := func() float64 {
 		return float64(filter.SizeBytes()) + float64(len(part.Table))*48
 	}
-	for round := 0; round < rounds; round++ {
-		// Parse + pack.
+	pack := func() [][]kmer.Kmer {
 		t0 := time.Now()
 		send := make([][]kmer.Kmer, p)
 		parsed := int64(0)
@@ -348,17 +411,10 @@ func bloomPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int
 		st.BytesPacked += parsed * 8
 		st.PackVirtual += pr.tick(float64(parsed*8), machine.RatePack, ws())
 		st.PackWall += time.Since(t0)
-
-		// Exchange.
-		t0 = time.Now()
-		pre := c.Stats()
-		recv := spmd.Alltoallv(c, send)
-		post := c.Stats()
-		st.ExchangeVirtual += post.ExchangeVirtual - pre.ExchangeVirtual
-		st.ExchangeWall += time.Since(t0)
-
-		// Insert into the local Bloom partition.
-		t0 = time.Now()
+		return send
+	}
+	process := func(recv [][]kmer.Kmer) {
+		t0 := time.Now()
 		received := int64(0)
 		for _, batch := range recv {
 			for _, km := range batch {
@@ -374,6 +430,7 @@ func bloomPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int
 		st.LocalVirtual += pr.tick(float64(received), machine.RateBloomInsert, ws())
 		st.LocalWall += time.Since(t0)
 	}
+	runRounds(c, &st, cfg, rounds, pack, process)
 	return st
 }
 
@@ -392,7 +449,7 @@ func hashPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int,
 	p := c.Size()
 	str := newStream(reads, cfg.K, cfg.MinimizerWindow)
 	ws := func() float64 { return float64(len(part.Table)) * 64 }
-	for round := 0; round < rounds; round++ {
+	pack := func() [][]occMsg {
 		t0 := time.Now()
 		send := make([][]occMsg, p)
 		parsed := int64(0)
@@ -412,15 +469,10 @@ func hashPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int,
 		st.BytesPacked += parsed * 16
 		st.PackVirtual += pr.tick(float64(parsed*16), machine.RatePack, ws())
 		st.PackWall += time.Since(t0)
-
-		t0 = time.Now()
-		pre := c.Stats()
-		recv := spmd.Alltoallv(c, send)
-		post := c.Stats()
-		st.ExchangeVirtual += post.ExchangeVirtual - pre.ExchangeVirtual
-		st.ExchangeWall += time.Since(t0)
-
-		t0 = time.Now()
+		return send
+	}
+	process := func(recv [][]occMsg) {
+		t0 := time.Now()
 		received := int64(0)
 		for _, batch := range recv {
 			for _, msg := range batch {
@@ -439,6 +491,7 @@ func hashPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int,
 		st.LocalVirtual += pr.tick(float64(received), machine.RateHTInsert, ws())
 		st.LocalWall += time.Since(t0)
 	}
+	runRounds(c, &st, cfg, rounds, pack, process)
 	return st
 }
 

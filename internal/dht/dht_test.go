@@ -396,6 +396,83 @@ func TestBuildWithMinimizersMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestMinimizerRoundCountMatchesStream checks that minimizer runs agree
+// on the round count from the minimizer density, not the full k-mer bag:
+// the old kmer.Count-based agreement scheduled ~(w+1)/2 empty all-to-all
+// rounds per pass.
+func TestMinimizerRoundCountMatchesStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	seqs := randReads(rng, 12, 900, 1400)
+	const k, w, m = 15, 9, 12
+	cfg := Config{MinimizerWindow: w, MaxKmersPerRound: 512}
+	_, allStats := buildDistributed(t, seqs, 3, k, m, cfg)
+
+	// The busiest rank's streamable minimizer count bounds the rounds
+	// (recompute the byte-balanced block distribution buildDistributed's
+	// read store uses).
+	recs := make([]*fastq.Record, len(seqs))
+	for i, s := range seqs {
+		recs[i] = &fastq.Record{Name: fmt.Sprintf("r%d", i), Seq: s}
+	}
+	maxUnits := 0
+	for _, rg := range fastq.PartitionByBytes(recs, 3) {
+		units := 0
+		for i := rg[0]; i < rg[1]; i++ {
+			units += kmer.MinimizerCount(seqs[i], k, w)
+		}
+		if units > maxUnits {
+			maxUnits = units
+		}
+	}
+	wantRounds := (maxUnits + 511) / 512
+	if wantRounds == 0 {
+		t.Fatal("degenerate test data: no minimizers")
+	}
+	for r, st := range allStats {
+		if st.Bloom.Rounds != wantRounds {
+			t.Errorf("rank %d: %d bloom rounds, want %d (streamable minimizers, not full k-mer bag)",
+				r, st.Bloom.Rounds, wantRounds)
+		}
+		if st.Hash.Rounds != wantRounds {
+			t.Errorf("rank %d: %d hash rounds, want %d", r, st.Hash.Rounds, wantRounds)
+		}
+	}
+}
+
+// TestBuildAsyncMatchesSync checks the pipelined (non-blocking) round
+// schedule constructs exactly the same partition as the bulk-synchronous
+// one, and that exchange time is reported as overlapped.
+func TestBuildAsyncMatchesSync(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	seqs := randReads(rng, 16, 700, 1200)
+	const k, m = 15, 20
+	syncGot, _ := buildDistributed(t, seqs, 4, k, m, Config{MaxKmersPerRound: 1024})
+	asyncGot, asyncStats := buildDistributed(t, seqs, 4, k, m, Config{MaxKmersPerRound: 1024, Async: true})
+	if len(asyncGot) != len(syncGot) {
+		t.Fatalf("async retained %d k-mers, sync %d", len(asyncGot), len(syncGot))
+	}
+	for km, wocc := range syncGot {
+		gocc := asyncGot[km]
+		if len(gocc) != len(wocc) {
+			t.Fatalf("k-mer %q: async %d occurrences, sync %d", km.Bytes(k), len(gocc), len(wocc))
+		}
+		for i := range wocc {
+			if gocc[i] != wocc[i] {
+				t.Fatalf("k-mer %q occurrence %d differs: %+v vs %+v", km.Bytes(k), i, gocc[i], wocc[i])
+			}
+		}
+	}
+	overlapped := false
+	for _, st := range asyncStats {
+		if st.Bloom.OverlapWall > 0 || st.Hash.OverlapWall > 0 {
+			overlapped = true
+		}
+	}
+	if !overlapped {
+		t.Error("async build reported no overlapped exchange time on any rank")
+	}
+}
+
 func TestStageStatsTotals(t *testing.T) {
 	s := StageStats{Breakdown: stats.Breakdown{PackVirtual: 1, LocalVirtual: 2, ExchangeVirtual: 3}}
 	if s.TotalVirtual() != 6 {

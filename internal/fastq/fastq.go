@@ -328,11 +328,25 @@ func SplitOffsets(path string, p int) ([]int64, error) {
 	return offsets, nil
 }
 
+const (
+	// scanWindow is the initial record-boundary scan window.
+	scanWindow = 1 << 20
+	// maxScanWindow bounds the window's growth; a FASTQ file that cannot
+	// produce one confirmed record boundary within it is corrupt (or not
+	// FASTQ) and is reported rather than guessed at.
+	maxScanWindow = 1 << 30
+)
+
 // nextRecordStart scans forward from off to the start of the next FASTQ
-// record. A line beginning with '@' is a record start only if it is either
-// preceded by a '+' separator two lines up... disambiguating '@' in quality
-// strings requires the 4-line record invariant: we accept a candidate '@'
-// line if the line after next is a '+' line.
+// record. A line beginning with '@' could be a header or a quality line;
+// disambiguating uses the 4-line record invariant: a candidate '@' line is
+// accepted iff the line after next begins with '+'. The window grows
+// (doubling from scanWindow) whenever a verdict would need bytes beyond it
+// — ultra-long reads can push a line or the two-line lookahead past any
+// fixed window, and silently returning size there would collapse the shard
+// to empty and dump its bytes on the previous rank. Only reaching
+// end-of-file without a confirmed start returns size: the offset landed
+// inside the file's final record, whose bytes belong to the prior shard.
 func nextRecordStart(f *os.File, off, size int64) (int64, error) {
 	if off <= 0 {
 		return 0, nil
@@ -340,37 +354,61 @@ func nextRecordStart(f *os.File, off, size int64) (int64, error) {
 	if off >= size {
 		return size, nil
 	}
-	const window = 1 << 20
-	buf := make([]byte, min64(window, size-off))
-	if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
-		return 0, err
+	for window := int64(scanWindow); ; window *= 2 {
+		n := min64(window, size-off)
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, off); err != nil && err != io.EOF {
+			return 0, err
+		}
+		atEOF := off+n == size
+		pos, found, needMore := scanRecordStart(buf, atEOF)
+		if found {
+			return off + int64(pos), nil
+		}
+		if atEOF || !needMore {
+			return size, nil
+		}
+		if window >= maxScanWindow {
+			return 0, fmt.Errorf("fastq: no record boundary within %d bytes after offset %d (corrupt or non-FASTQ input)", n, off)
+		}
 	}
+}
+
+// scanRecordStart looks for the first confirmed record start in buf.
+// needMore reports that the verdict requires bytes beyond the buffer (a
+// window-final partial line, or a candidate whose two-line lookahead runs
+// off the end); it is never set when the buffer already reaches EOF.
+func scanRecordStart(buf []byte, atEOF bool) (pos int, found, needMore bool) {
 	// Align to the next line start.
 	i := bytes.IndexByte(buf, '\n')
 	if i < 0 {
-		return size, nil
+		return 0, false, !atEOF
 	}
 	i++
 	for i < len(buf) {
 		lineEnd := bytes.IndexByte(buf[i:], '\n')
 		if lineEnd < 0 {
-			break
+			// Partial final line: a candidate here cannot be confirmed.
+			return 0, false, !atEOF
 		}
 		if buf[i] == '@' {
-			// Check that line i+2 starts with '+'.
+			// Confirm that the line after next starts with '+'.
 			j := i + lineEnd + 1
-			if j < len(buf) {
-				if k := bytes.IndexByte(buf[j:], '\n'); k >= 0 {
-					l := j + k + 1
-					if l < len(buf) && buf[l] == '+' {
-						return off + int64(i), nil
-					}
-				}
+			k := bytes.IndexByte(buf[j:], '\n')
+			if k < 0 {
+				return 0, false, !atEOF
+			}
+			l := j + k + 1
+			if l >= len(buf) {
+				return 0, false, !atEOF
+			}
+			if buf[l] == '+' {
+				return i, true, false
 			}
 		}
 		i += lineEnd + 1
 	}
-	return size, nil
+	return 0, false, !atEOF
 }
 
 func min64(a, b int64) int64 {

@@ -234,6 +234,86 @@ func TestSplitOffsetsAndReadRange(t *testing.T) {
 	}
 }
 
+// TestSplitOffsetsUltraLongReads is the regression test for split offsets
+// landing inside reads longer than the boundary scan window: the old
+// fixed 1 MiB window returned size when it ended mid-record (or when the
+// two-line lookahead ran off the buffer), silently collapsing the shard to
+// empty and dumping its bytes on the previous rank. Quality lines start
+// with '@' to keep the header/quality ambiguity in play.
+func TestSplitOffsetsUltraLongReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	mk := func(name string, n int) *Record {
+		seq := make([]byte, n)
+		qual := make([]byte, n)
+		for j := range seq {
+			seq[j] = "ACGT"[rng.Intn(4)]
+			qual[j] = byte('!' + rng.Intn(60))
+		}
+		qual[0] = '@' // adversarial: quality line starts with '@'
+		return &Record{Name: name, Seq: seq, Qual: qual}
+	}
+	// The middle read's lines are ~1.5x the scan window, so any offset
+	// guess near the file's midpoint lands inside it and the scan must
+	// grow its window to reach the next record's header.
+	recs := []*Record{
+		mk("short-head", 2000),
+		mk("ultra-long", scanWindow*3/2),
+		mk("short-tail", 2000),
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "long.fastq")
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range []int{2, 3, 5} {
+		offsets, err := SplitOffsets(path, p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		// Real record boundaries exist after every interior guess (the
+		// guesses land in or before the ultra-long read, and two records
+		// follow its start), so no interior offset may collapse to size.
+		if offsets[1] >= fi.Size() {
+			t.Errorf("p=%d: first split offset collapsed to file size", p)
+		}
+		var got []*Record
+		for i := 0; i < p; i++ {
+			part, err := ReadRange(path, offsets[i], offsets[i+1])
+			if err != nil {
+				t.Fatalf("p=%d shard %d: %v", p, i, err)
+			}
+			got = append(got, part...)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("p=%d: reassembled %d records, want %d", p, len(got), len(recs))
+		}
+		for i := range got {
+			if got[i].Name != recs[i].Name || !bytes.Equal(got[i].Seq, recs[i].Seq) {
+				t.Fatalf("p=%d: record %d mismatch", p, i)
+			}
+		}
+	}
+
+	// The p=2 midpoint guess lands inside the ultra-long read; the grown
+	// window must find the *next* record, not swallow the tail.
+	offsets, err := SplitOffsets(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := ReadRange(path, offsets[1], fi.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 1 || tail[0].Name != "short-tail" {
+		t.Errorf("p=2 second shard holds %d records, want exactly the tail read", len(tail))
+	}
+}
+
 func TestGzipRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "reads.fastq.gz")

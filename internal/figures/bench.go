@@ -1,0 +1,100 @@
+package figures
+
+// The perf-trajectory benchmark: a small fixed workload run under both
+// exchange schedules, distilled into a machine-readable snapshot that CI
+// uploads (BENCH_PR2.json). Successive PRs append comparable files, so
+// the repo accumulates a history of how the hot paths move.
+
+import (
+	"fmt"
+
+	"dibella/internal/machine"
+	"dibella/internal/pipeline"
+)
+
+// BenchRun is one schedule's numbers on the bench workload.
+type BenchRun struct {
+	WallSeconds          float64 `json:"wall_seconds"`
+	VirtualSeconds       float64 `json:"virtual_seconds"`
+	BloomHashVirtual     float64 `json:"bloom_hash_virtual_seconds"`
+	ExchangeVirtual      float64 `json:"exchange_virtual_seconds"`
+	OverlapFraction      float64 `json:"overlap_fraction"`
+	Alignments           int64   `json:"alignments"`
+	AlignmentsPerVirtual float64 `json:"alignments_per_virtual_second"`
+}
+
+// BenchResult is the full snapshot: the same workload under the
+// bulk-synchronous and the non-blocking round-pipelined schedules,
+// modeled as a Cori job.
+type BenchResult struct {
+	Workload     string   `json:"workload"`
+	Platform     string   `json:"platform"`
+	Nodes        int      `json:"nodes"`
+	SimRanks     int      `json:"sim_ranks"`
+	Reads        int      `json:"reads"`
+	Sync         BenchRun `json:"sync"`
+	Async        BenchRun `json:"async"`
+	SpeedupModel float64  `json:"modeled_speedup_async_over_sync"`
+}
+
+// ExchangeBench runs the sync-vs-async exchange comparison on the E. coli
+// 30x one-seed workload at the harness scale, modeled as an 8-node Cori
+// job. Both runs execute the identical dataset; only the exchange
+// schedule differs.
+func ExchangeBench(o *Options) (*BenchResult, error) {
+	o.setDefaults()
+	reads, err := o.Reads30x()
+	if err != nil {
+		return nil, err
+	}
+	const nodes = 8
+	p := o.simRanks(nodes)
+	run := func(mode pipeline.ExchangeMode) (BenchRun, error) {
+		mdl, err := machine.NewModelScaled(machine.Cori, nodes, p)
+		if err != nil {
+			return BenchRun{}, err
+		}
+		cfg := oneSeedConfig()
+		cfg.Exchange = mode
+		// Several exchange rounds per pass, so the round pipeline has
+		// in-flight exchanges to hide (one monolithic round would leave
+		// the Bloom/hash passes nothing to overlap).
+		cfg.MaxKmersPerRound = 1 << 16
+		rep, err := pipeline.Execute(p, mdl, reads, cfg)
+		if err != nil {
+			return BenchRun{}, err
+		}
+		o.logf("bench exchange=%v: %s", mode, rep.Summary())
+		bh := rep.StageVirtual(pipeline.StageBloom) + rep.StageVirtual(pipeline.StageHash)
+		br := BenchRun{
+			WallSeconds:      rep.WallTime.Seconds(),
+			VirtualSeconds:   rep.TotalVirtual(),
+			BloomHashVirtual: bh,
+			ExchangeVirtual:  rep.ExchangeVirtual(),
+			OverlapFraction:  rep.OverlapFraction(),
+			Alignments:       rep.Alignments,
+		}
+		if br.VirtualSeconds > 0 {
+			br.AlignmentsPerVirtual = float64(rep.Alignments) / br.VirtualSeconds
+		}
+		return br, nil
+	}
+	syncRun, err := run(pipeline.ExchangeSync)
+	if err != nil {
+		return nil, fmt.Errorf("figures: sync bench: %w", err)
+	}
+	asyncRun, err := run(pipeline.ExchangeAsync)
+	if err != nil {
+		return nil, fmt.Errorf("figures: async bench: %w", err)
+	}
+	res := &BenchResult{
+		Workload: fmt.Sprintf("E. coli 30x one-seed, scale %g, seed %d", o.Scale, o.Seed),
+		Platform: machine.Cori.Name, Nodes: nodes, SimRanks: p,
+		Reads: len(reads),
+		Sync:  syncRun, Async: asyncRun,
+	}
+	if asyncRun.VirtualSeconds > 0 {
+		res.SpeedupModel = syncRun.VirtualSeconds / asyncRun.VirtualSeconds
+	}
+	return res, nil
+}

@@ -61,6 +61,59 @@ func Minimizers(seq []byte, k, w int, readID uint32) []Extracted {
 	return out
 }
 
+// MinimizerCount returns how many (w,k)-minimizer occurrences Minimizers
+// would emit for seq, without materializing them: the same monotone-deque
+// sweep run over the streaming Scanner with O(w) state. The distributed
+// hash table uses it to agree on the exchange round count from what each
+// rank will actually stream, instead of overestimating with the full
+// k-mer count.
+func MinimizerCount(seq []byte, k, w int) int {
+	sc := NewScanner(seq, k, 0)
+	if w <= 1 {
+		n := 0
+		for {
+			if _, ok := sc.Next(); !ok {
+				return n
+			}
+			n++
+		}
+	}
+	type cand struct {
+		i int
+		h uint64
+	}
+	dq := make([]cand, 0, w)
+	count := 0
+	lastEmitted := -1
+	i := 0
+	for ; ; i++ {
+		ex, ok := sc.Next()
+		if !ok {
+			break
+		}
+		h := ex.Kmer.Hash()
+		for len(dq) > 0 && dq[len(dq)-1].h > h {
+			dq = dq[:len(dq)-1]
+		}
+		dq = append(dq, cand{i: i, h: h})
+		if dq[0].i <= i-w {
+			dq = dq[1:]
+		}
+		if i >= w-1 && dq[0].i != lastEmitted {
+			count++
+			lastEmitted = dq[0].i
+		}
+	}
+	switch {
+	case i == 0:
+		return 0
+	case i < w:
+		// Short reads emit their single global minimizer.
+		return 1
+	}
+	return count
+}
+
 // MinimizerDensity returns the expected fraction of k-mers selected as
 // (w,k)-minimizers of a random sequence: 2/(w+1).
 func MinimizerDensity(w int) float64 {

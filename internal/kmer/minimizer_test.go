@@ -145,3 +145,25 @@ func BenchmarkMinimizers(b *testing.B) {
 		Minimizers(seq, 17, 10, 0)
 	}
 }
+
+// TestMinimizerCountMatchesMinimizers pins the streaming counter to the
+// materializing implementation across lengths, windows, and ambiguous
+// bases (short reads, empty reads, and runs split by 'N' included).
+func TestMinimizerCountMatchesMinimizers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const alphabet = "ACGTACGTACGTN" // sparse Ns
+	const k = 7
+	for trial := 0; trial < 300; trial++ {
+		seq := make([]byte, rng.Intn(220))
+		for i := range seq {
+			seq[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		for _, w := range []int{1, 2, 3, 5, 9, 16} {
+			want := len(Minimizers(seq, k, w, 0))
+			if got := MinimizerCount(seq, k, w); got != want {
+				t.Fatalf("len=%d w=%d: MinimizerCount=%d, len(Minimizers)=%d (seq %q)",
+					len(seq), w, got, want, seq)
+			}
+		}
+	}
+}

@@ -37,14 +37,165 @@ type Alignment struct {
 	SeedsConsumed int // seeds the pair carried (after filtering)
 }
 
+// addComm accumulates one collective's exchange and overlap cost into b
+// from Comm stats snapshots taken around it.
+func addComm(b *stats.Breakdown, pre, post spmd.Stats) {
+	b.ExchangeVirtual += post.ExchangeVirtual - pre.ExchangeVirtual
+	b.OverlapVirtual += post.OverlapVirtual - pre.OverlapVirtual
+	b.ExchangeWall += post.ExchangeWall - pre.ExchangeWall
+	b.OverlapWall += post.OverlapWall - pre.OverlapWall
+}
+
+// aligner is the per-rank alignment state shared by the synchronous and
+// overlapped schedules: the read view, a reverse-complement cache (one RC
+// per read, however many tasks touch it), and the accumulating output.
+type aligner struct {
+	c      *spmd.Comm
+	model  *machine.Model
+	view   *fastq.LocalView
+	cfg    Config
+	st     *AlignStats
+	rc     map[uint32][]byte // reverse complements by read ID
+	rcNeed map[uint32]int    // tasks still needing each read's RC; at 0 the entry is evicted
+	out    []Alignment
+}
+
+// revComp returns (computing and caching on first use) the reverse
+// complement of read id's sequence.
+func (al *aligner) revComp(id uint32, seq []byte) []byte {
+	if rc, ok := al.rc[id]; ok {
+		return rc
+	}
+	rc := dna.ReverseComplement(seq)
+	al.st.LocalVirtual += price(al.c, al.model, float64(len(seq)), machine.RatePack, 0)
+	al.rc[id] = rc
+	return rc
+}
+
+// needsRC reports whether any seed aligns the pair on opposite strands
+// (i.e. read B's reverse complement will be needed).
+func needsRC(task overlap.Task) bool {
+	for _, seed := range task.Seeds {
+		if !seed.SameStrand() {
+			return true
+		}
+	}
+	return false
+}
+
+// alignTask runs every seed's x-drop extension for one task and appends
+// the surviving alignments. By default only the best-scoring alignment per
+// (pair, strand) is kept — BELLA's semantics; a multi-seed pair otherwise
+// emits duplicate overlapping records — with Config.KeepAllSeedAlignments
+// as the per-seed escape hatch. Ties keep the earliest seed's alignment
+// (seed lists arrive sorted by PosA), so the choice is deterministic and
+// schedule-independent.
+func (al *aligner) alignTask(task overlap.Task) {
+	seqA := al.view.Seq(task.Pair.A)
+	seqB := al.view.Seq(task.Pair.B)
+	if seqA == nil || seqB == nil {
+		// Unreachable by construction; guard so a logic error surfaces
+		// as missing output rather than a crash.
+		return
+	}
+	cfg := &al.cfg
+	var bestFwd, bestRev Alignment
+	var haveFwd, haveRev bool
+	var seedOps, cells int64
+	for _, seed := range task.Seeds {
+		seedOps++
+		posA := int(seed.PosA)
+		posB := int(seed.PosB)
+		strand := byte('+')
+		tgt := seqB
+		if !seed.SameStrand() {
+			tgt = al.revComp(task.Pair.B, seqB)
+			posB = len(seqB) - cfg.K - posB
+			strand = '-'
+		}
+		if posA < 0 || posB < 0 || posA+cfg.K > len(seqA) || posB+cfg.K > len(tgt) {
+			continue // corrupted seed; skip defensively
+		}
+		r := align.XDrop(seqA, tgt, posA, posB, cfg.K, cfg.Scoring, cfg.XDrop)
+		al.st.Alignments++
+		al.st.Cells += r.Cells
+		cells += r.Cells
+		a := Alignment{
+			A: task.Pair.A, B: task.Pair.B, Strand: strand,
+			Score: r.Score, Cells: r.Cells,
+			AStart: r.SStart, AEnd: r.SEnd,
+			ALen: len(seqA), BLen: len(seqB),
+			SeedsConsumed: len(task.Seeds),
+		}
+		if strand == '+' {
+			a.BStart, a.BEnd = r.TStart, r.TEnd
+		} else {
+			// Map the span back to B's forward coordinates.
+			a.BStart, a.BEnd = len(seqB)-r.TEnd, len(seqB)-r.TStart
+		}
+		switch {
+		case cfg.KeepAllSeedAlignments:
+			if a.Score >= cfg.MinAlignScore {
+				al.out = append(al.out, a)
+			}
+		case strand == '+':
+			if !haveFwd || a.Score > bestFwd.Score {
+				bestFwd, haveFwd = a, true
+			}
+		default:
+			if !haveRev || a.Score > bestRev.Score {
+				bestRev, haveRev = a, true
+			}
+		}
+	}
+	if haveFwd && bestFwd.Score >= cfg.MinAlignScore {
+		al.out = append(al.out, bestFwd)
+	}
+	if haveRev && bestRev.Score >= cfg.MinAlignScore {
+		al.out = append(al.out, bestRev)
+	}
+	al.st.LocalVirtual += price(al.c, al.model, float64(cells), machine.RateCell, 0) +
+		price(al.c, al.model, float64(seedOps), machine.RateSeedPrep, 0)
+	if needsRC(task) {
+		// Last task touching B's reverse complement releases it, keeping
+		// the cache bounded by concurrently-live RCs rather than every
+		// opposite-strand read the stage ever saw.
+		al.rcNeed[task.Pair.B]--
+		if al.rcNeed[task.Pair.B] <= 0 {
+			delete(al.rcNeed, task.Pair.B)
+			delete(al.rc, task.Pair.B)
+		}
+	}
+}
+
 // alignStage fetches non-local reads and computes every seed's x-drop
 // alignment locally. All ranks must call it collectively (the read
-// request/reply exchanges are all-to-alls).
+// request/reply exchanges are all-to-alls). With Config.ExchangeAsync the
+// exchanges are posted non-blocking and overlapped: tasks whose reads are
+// both local align during the request exchange's flight, and reverse
+// complements of local B reads are precomputed during the reply
+// exchange's. The emitted alignments are identical either way.
 func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	tasks []overlap.Task, cfg Config) ([]Alignment, AlignStats) {
 
 	st := AlignStats{Tasks: int64(len(tasks))}
 	p := c.Size()
+	async := cfg.Exchange == ExchangeAsync
+	// Exchange/overlap accounting snapshots Comm stats once around the
+	// stage: everything else here only ticks local time, so the stats
+	// delta is exactly the two exchanges (posting costs included).
+	preComm := c.Stats()
+	al := &aligner{
+		c: c, model: model, view: view, cfg: cfg, st: &st,
+		rc:     make(map[uint32][]byte),
+		rcNeed: make(map[uint32]int),
+		out:    make([]Alignment, 0, len(tasks)),
+	}
+	for _, task := range tasks {
+		if needsRC(task) {
+			al.rcNeed[task.Pair.B]++
+		}
+	}
 
 	// Identify the remote reads this rank needs, deduplicated, per owner.
 	t0 := time.Now()
@@ -68,13 +219,26 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	st.LocalVirtual += price(c, model, float64(len(needed)), machine.RatePairGen, 0)
 	st.LocalWall += time.Since(t0)
 
-	// Request exchange: ship wanted IDs to their owners.
-	t0 = time.Now()
-	pre := c.Stats()
-	incoming := spmd.Alltoallv(c, reqs)
-	post := c.Stats()
-	st.ExchangeVirtual += post.ExchangeVirtual - pre.ExchangeVirtual
-	st.ExchangeWall += time.Since(t0)
+	// Request exchange: ship wanted IDs to their owners. Under the
+	// overlapped schedule, align the all-local tasks while it flies.
+	var incoming [][]uint32
+	var remote []overlap.Task
+	if async {
+		reqH := spmd.IAlltoallv(c, reqs)
+		t0 = time.Now()
+		for _, task := range tasks {
+			if view.Owns(task.Pair.A) && view.Owns(task.Pair.B) {
+				al.alignTask(task)
+			} else {
+				remote = append(remote, task)
+			}
+		}
+		st.LocalWall += time.Since(t0)
+		incoming = reqH.Wait()
+	} else {
+		remote = tasks
+		incoming = spmd.Alltoallv(c, reqs)
+	}
 
 	// Reply packing: each owner packs the requested sequences, in request
 	// order, so no IDs need to travel back.
@@ -91,14 +255,26 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	st.PackVirtual += price(c, model, float64(packedBytes), machine.RatePack, 0)
 	st.PackWall += time.Since(t0)
 
-	// Reply exchange and replica installation.
-	t0 = time.Now()
-	pre = c.Stats()
-	got := spmd.AlltoallvPacked(c, replies)
-	post = c.Stats()
-	st.ExchangeVirtual += post.ExchangeVirtual - pre.ExchangeVirtual
-	st.ExchangeWall += time.Since(t0)
+	// Reply exchange. Under the overlapped schedule, precompute the
+	// reverse complements the remaining tasks will need from reads already
+	// resident while the sequences fly.
+	var got []spmd.PackedBufs
+	if async {
+		repH := spmd.IAlltoallvPacked(c, replies)
+		t0 = time.Now()
+		for _, task := range remote {
+			if view.Owns(task.Pair.B) && needsRC(task) {
+				al.revComp(task.Pair.B, view.Seq(task.Pair.B))
+			}
+		}
+		st.LocalWall += time.Since(t0)
+		got = repH.Wait()
+	} else {
+		got = spmd.AlltoallvPacked(c, replies)
+	}
+	addComm(&st.Breakdown, preComm, c.Stats())
 
+	// Replica installation.
 	t0 = time.Now()
 	for src := 0; src < p; src++ {
 		items := got[src].Items()
@@ -111,60 +287,11 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	st.LocalVirtual += price(c, model, float64(st.FetchedBytes), machine.RatePack, 0)
 	st.LocalWall += time.Since(t0)
 
-	// Embarrassingly parallel per-rank alignment.
+	// Embarrassingly parallel per-rank alignment of what remains.
 	t0 = time.Now()
-	out := make([]Alignment, 0, len(tasks))
-	var seedOps int64
-	for _, task := range tasks {
-		seqA := view.Seq(task.Pair.A)
-		seqB := view.Seq(task.Pair.B)
-		if seqA == nil || seqB == nil {
-			// Unreachable by construction; guard so a logic error surfaces
-			// as missing output rather than a crash.
-			continue
-		}
-		var rcB []byte // lazily computed reverse complement of B
-		for _, seed := range task.Seeds {
-			seedOps++
-			posA := int(seed.PosA)
-			posB := int(seed.PosB)
-			strand := byte('+')
-			tgt := seqB
-			if !seed.SameStrand() {
-				if rcB == nil {
-					rcB = dna.ReverseComplement(seqB)
-					st.LocalVirtual += price(c, model, float64(len(seqB)), machine.RatePack, 0)
-				}
-				tgt = rcB
-				posB = len(seqB) - cfg.K - posB
-				strand = '-'
-			}
-			if posA < 0 || posB < 0 || posA+cfg.K > len(seqA) || posB+cfg.K > len(tgt) {
-				continue // corrupted seed; skip defensively
-			}
-			r := align.XDrop(seqA, tgt, posA, posB, cfg.K, cfg.Scoring, cfg.XDrop)
-			st.Alignments++
-			st.Cells += r.Cells
-			a := Alignment{
-				A: task.Pair.A, B: task.Pair.B, Strand: strand,
-				Score: r.Score, Cells: r.Cells,
-				AStart: r.SStart, AEnd: r.SEnd,
-				ALen: len(seqA), BLen: len(seqB),
-				SeedsConsumed: len(task.Seeds),
-			}
-			if strand == '+' {
-				a.BStart, a.BEnd = r.TStart, r.TEnd
-			} else {
-				// Map the span back to B's forward coordinates.
-				a.BStart, a.BEnd = len(seqB)-r.TEnd, len(seqB)-r.TStart
-			}
-			if r.Score >= cfg.MinAlignScore {
-				out = append(out, a)
-			}
-		}
+	for _, task := range remote {
+		al.alignTask(task)
 	}
-	st.LocalVirtual += price(c, model, float64(st.Cells), machine.RateCell, 0) +
-		price(c, model, float64(seedOps), machine.RateSeedPrep, 0)
 	st.LocalWall += time.Since(t0)
-	return out, st
+	return al.out, st
 }

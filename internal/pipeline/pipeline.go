@@ -29,6 +29,21 @@ import (
 	"dibella/internal/stats"
 )
 
+// ExchangeMode selects how the pipeline schedules its all-to-all
+// exchanges.
+type ExchangeMode int
+
+const (
+	// ExchangeAsync (the default) posts exchanges as non-blocking
+	// collectives (spmd.IAlltoallv) and overlaps them with packing,
+	// processing, and — in the alignment stage — local alignment work.
+	// Output is byte-identical to the synchronous schedule.
+	ExchangeAsync ExchangeMode = iota
+	// ExchangeSync is the paper's bulk-synchronous schedule: pack →
+	// blocking exchange → process. Retained for A/B comparison.
+	ExchangeSync
+)
+
 // Config holds every runtime parameter of a pipeline execution.
 type Config struct {
 	K       int // k-mer length (0: derive via bella.OptimalK from ErrorRate)
@@ -64,6 +79,19 @@ type Config struct {
 	// KeepAlignments retains alignment records in the Report (costs
 	// memory on large runs).
 	KeepAlignments bool
+
+	// Exchange selects non-blocking (default) vs bulk-synchronous
+	// exchange scheduling. The two schedules move identical data and
+	// produce byte-identical PAF; only when and how long ranks block
+	// differs.
+	Exchange ExchangeMode
+
+	// KeepAllSeedAlignments emits one alignment record per explored seed
+	// instead of the default BELLA semantics of keeping only the
+	// best-scoring alignment per (pair, strand). Multi-seed pairs under
+	// MinDistance/AllSeeds otherwise produce duplicate overlapping PAF
+	// rows for the same read pair.
+	KeepAllSeedAlignments bool
 }
 
 func (cfg *Config) setDefaults() error {
@@ -191,6 +219,31 @@ func (rep *Report) StageExchangeVirtual(s StageName) float64 {
 	return stats.Max(vals)
 }
 
+// StageOverlapVirtual returns the stage's modeled exchange time hidden
+// under computation by non-blocking exchanges (max over ranks; zero for
+// bulk-synchronous runs).
+func (rep *Report) StageOverlapVirtual(s StageName) float64 {
+	vals := make([]float64, len(rep.PerRank))
+	for i := range rep.PerRank {
+		vals[i] = rep.PerRank[i].breakdownOf(s).OverlapVirtual
+	}
+	return stats.Max(vals)
+}
+
+// OverlapFraction returns the share of the run's exchange cost that ran
+// hidden under computation, aggregated over all ranks and stages: modeled
+// when platform-priced, measured (overlapped vs. blocked host time)
+// otherwise. Bulk-synchronous runs report 0.
+func (rep *Report) OverlapFraction() float64 {
+	var agg stats.Breakdown
+	for i := range rep.PerRank {
+		for _, s := range Stages {
+			agg.Add(rep.PerRank[i].breakdownOf(s))
+		}
+	}
+	return agg.OverlapFraction()
+}
+
 // StageWall returns the stage's measured host time (max over ranks).
 func (rep *Report) StageWall(s StageName) time.Duration {
 	var m time.Duration
@@ -266,6 +319,7 @@ func Run(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config)
 		ErrorRate:        cfg.ErrorRate,
 		UseHLL:           cfg.UseHLL,
 		MinimizerWindow:  cfg.MinimizerWindow,
+		Async:            cfg.Exchange == ExchangeAsync,
 	})
 	if err != nil {
 		return RankReport{}, nil, err
@@ -438,11 +492,14 @@ func (rep *Report) PAFRecords(reads []*fastq.Record) []paf.Record {
 	return out
 }
 
-// Summary renders the run the way diBELLA logs it.
+// Summary renders the run the way diBELLA logs it. The overlap field is
+// the fraction of exchange cost hidden under computation by non-blocking
+// exchanges (0% for the bulk-synchronous schedule).
 func (rep *Report) Summary() string {
 	return fmt.Sprintf(
-		"ranks=%d reads=%d k=%d m=%d retained=%d pairs=%d alignments=%d cells=%d virtual=%.3fs wall=%v",
+		"ranks=%d reads=%d k=%d m=%d retained=%d pairs=%d alignments=%d cells=%d overlap=%.0f%% virtual=%.3fs wall=%v",
 		rep.Ranks, rep.Reads, rep.Config.K, rep.Config.MaxFreq,
 		rep.RetainedKmers, rep.Pairs, rep.Alignments, rep.Cells,
+		rep.OverlapFraction()*100,
 		rep.VirtualTime, rep.WallTime.Round(time.Millisecond))
 }

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"dibella/internal/fastq"
+	"dibella/internal/machine"
+	"dibella/internal/overlap"
 	"dibella/internal/paf"
 	"dibella/internal/seqgen"
 	"dibella/internal/spmd"
@@ -113,6 +115,114 @@ func TestTCPTransportMatchesInProcess(t *testing.T) {
 	if !bytes.Equal(memPAF.Bytes(), tcpPAF.Bytes()) {
 		t.Errorf("PAF output differs between transports (%d vs %d bytes, %d vs %d records)",
 			memPAF.Len(), tcpPAF.Len(), len(memRep.Records), len(tcpRep.Records))
+	}
+}
+
+// pafBytes serializes a report's alignment records.
+func pafBytes(t *testing.T, rep *Report, reads []*fastq.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := paf.Write(&buf, rep.PAFRecords(reads)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAsyncExchangeMatchesSync is the PR's equivalence guarantee: the
+// non-blocking round-pipelined schedule must produce byte-identical PAF to
+// the bulk-synchronous one, on both the in-process and TCP transports. The
+// MinDistance seed mode keeps multi-seed pairs in play so the overlapped
+// alignment paths (early local tasks, RC precompute, per-pair dedup) are
+// all exercised.
+func TestAsyncExchangeMatchesSync(t *testing.T) {
+	const p = 4
+	ds, err := seqgen.Generate(seqgen.Config{
+		GenomeLen: 24000, Coverage: 10, MeanReadLen: 1500, MinReadLen: 500, BothStrands: true, ErrorRate: 0.06, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncCfg := Config{
+		K: 17, ErrorRate: 0.06, Coverage: 10, KeepAlignments: true,
+		SeedMode: overlap.MinDistance, MinDist: 600,
+		// Small rounds force several pipelined exchanges per pass.
+		MaxKmersPerRound: 1 << 12,
+	}
+	syncCfg := asyncCfg
+	syncCfg.Exchange = ExchangeSync
+
+	memSync, err := Execute(p, nil, ds.Reads, syncCfg)
+	if err != nil {
+		t.Fatalf("in-process sync: %v", err)
+	}
+	memAsync, err := Execute(p, nil, ds.Reads, asyncCfg)
+	if err != nil {
+		t.Fatalf("in-process async: %v", err)
+	}
+	tcpAsync, err := executeTCPLoopback(t, p, ds.Reads, asyncCfg)
+	if err != nil {
+		t.Fatalf("tcp async: %v", err)
+	}
+
+	if memSync.Alignments == 0 {
+		t.Fatal("sync run produced no alignments; nothing to compare")
+	}
+	want := pafBytes(t, memSync, ds.Reads)
+	if got := pafBytes(t, memAsync, ds.Reads); !bytes.Equal(want, got) {
+		t.Errorf("in-process async PAF diverges from sync (%d vs %d bytes)", len(got), len(want))
+	}
+	if got := pafBytes(t, tcpAsync, ds.Reads); !bytes.Equal(want, got) {
+		t.Errorf("tcp async PAF diverges from sync (%d vs %d bytes)", len(got), len(want))
+	}
+
+	if f := memSync.OverlapFraction(); f != 0 {
+		t.Errorf("sync schedule reports overlap fraction %v, want 0", f)
+	}
+	if f := memAsync.OverlapFraction(); f <= 0 {
+		t.Errorf("async in-process run reports overlap fraction %v, want > 0", f)
+	}
+	if f := tcpAsync.OverlapFraction(); f <= 0 {
+		t.Errorf("async tcp run reports overlap fraction %v, want > 0", f)
+	}
+}
+
+// TestAsyncExchangeReducesModeledTime checks the modeling claim: with a
+// platform model attached, the overlapped schedule's modeled Bloom+hash
+// time is max(exchange, local)-like and must come in under the
+// bulk-synchronous sum on the same workload.
+func TestAsyncExchangeReducesModeledTime(t *testing.T) {
+	const p = 8
+	ds, err := seqgen.Generate(seqgen.Config{
+		GenomeLen: 24000, Coverage: 10, MeanReadLen: 1500, MinReadLen: 500, BothStrands: true, ErrorRate: 0.06, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mode ExchangeMode) *Report {
+		mdl, err := machine.NewModelScaled(machine.Cori, 8, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Execute(p, mdl, ds.Reads, Config{
+			K: 17, ErrorRate: 0.06, Coverage: 10,
+			MaxKmersPerRound: 1 << 12, Exchange: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	syncRep := run(ExchangeSync)
+	asyncRep := run(ExchangeAsync)
+	bloomHash := func(rep *Report) float64 {
+		return rep.StageVirtual(StageBloom) + rep.StageVirtual(StageHash)
+	}
+	s, a := bloomHash(syncRep), bloomHash(asyncRep)
+	if a >= s {
+		t.Errorf("async modeled Bloom+hash time %.6fs, want below sync %.6fs", a, s)
+	}
+	if ov := asyncRep.StageOverlapVirtual(StageBloom) + asyncRep.StageOverlapVirtual(StageHash); ov <= 0 {
+		t.Errorf("async run hides no modeled exchange time (%v)", ov)
 	}
 }
 

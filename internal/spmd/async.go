@@ -1,0 +1,180 @@
+package spmd
+
+// Non-blocking collectives: the MPI_Ialltoallv analogue that lets a rank
+// post round r+1's exchange and keep computing on round r while the
+// payloads move. This is the mechanism behind the pipeline's
+// exchange/compute overlap (the paper's Figs. 9-10 show exchange as the
+// scaling limiter precisely because the bulk-synchronous rounds pay
+// pack → exchange → process as a sum).
+//
+// Clock semantics at Wait: the exchange is modeled as starting at the
+// maximum posting clock across ranks (BSP — data cannot move before the
+// last rank contributes) and completing one modeled exchange cost later.
+// The waiting rank's clock advances to max(its own clock, that completion
+// time), so an overlapped round costs max(local, exchange) rather than
+// local + exchange; the hidden portion is accounted in Stats.OverlapVirtual.
+//
+// Ordering contract: handles must be waited in posting order, and no
+// blocking collective may run while any handle is pending (enforced —
+// violations panic). Posting further exchanges while handles are pending
+// is allowed; that is the point.
+
+import (
+	"fmt"
+	"time"
+)
+
+// asyncCommModel is the optional CommModel extension pricing the CPU-side
+// cost of posting a non-blocking exchange (machine.Model implements it).
+type asyncCommModel interface {
+	IPostTime() float64
+}
+
+// Handle is the completion handle of one posted non-blocking exchange.
+type Handle[T any] struct {
+	c       *Comm
+	pe      PendingExchange
+	id      uint64
+	myBytes int64
+	shared  bool
+	done    bool
+}
+
+// IAlltoallv posts an irregular all-to-all without blocking: rank i's
+// send[j] will be delivered as rank j's recv[i] when every rank has posted
+// the matching exchange. The returned handle's Wait yields the received
+// buffers. Element and aliasing rules match Alltoallv; additionally the
+// send slices are handed off at post time and must not be mutated until
+// every rank has waited the exchange.
+func IAlltoallv[T any](c *Comm, send [][]T) *Handle[T] {
+	p := c.Size()
+	if len(send) != p {
+		panic(fmt.Sprintf("spmd: IAlltoallv send length %d != world size %d", len(send), p))
+	}
+	shared := c.tr.Shared()
+	if !shared && !isPOD[T]() {
+		panic(fmt.Sprintf("spmd: IAlltoallv element type %T contains pointers and cannot cross an address-space boundary", *new(T)))
+	}
+	raw := make([][]byte, p)
+	var myBytes int64
+	for dst := 0; dst < p; dst++ {
+		raw[dst] = castToBytes(send[dst])
+		myBytes += int64(len(raw[dst]))
+	}
+	pe, err := c.tr.IAlltoallv(raw, c.clock, float64(myBytes))
+	if err != nil {
+		collectiveFailed(c, "ialltoallv post", err)
+	}
+	if am, ok := c.model.(asyncCommModel); ok {
+		// Posting is not free: descriptor setup and buffer registration
+		// run on the rank's own clock. The cost is exchange accounting
+		// (it exists only because of the exchange) but is CPU-bound, so
+		// it never counts as hidden.
+		d := am.IPostTime()
+		c.Tick(d)
+		c.stats.ExchangeVirtual += d
+	}
+	h := &Handle[T]{c: c, pe: pe, id: c.nextID, myBytes: myBytes, shared: shared}
+	c.nextID++
+	if len(c.pending) == 0 {
+		// First in-flight exchange: compute from here on counts as
+		// overlap (until attributed by a Wait).
+		c.anchorWall = time.Now()
+		c.anchorExchWall = c.stats.ExchangeWall
+	}
+	c.pending = append(c.pending, h.id)
+	return h
+}
+
+// Wait blocks until the exchange completes and returns the received
+// buffers (recv[src] is what rank src sent here). It folds the exchange's
+// modeled cost into the BSP clock as described in the package comment and
+// must be called exactly once per handle, in posting order.
+func (h *Handle[T]) Wait() [][]T {
+	c := h.c
+	if h.done {
+		panic("spmd: non-blocking exchange waited twice")
+	}
+	if len(c.pending) == 0 || c.pending[0] != h.id {
+		panic("spmd: non-blocking exchanges must be waited in posting order")
+	}
+	c.pending = c.pending[1:]
+	h.done = true
+
+	// Compute time since the anchor (the last point already credited),
+	// excluding time blocked in collectives, overlapped this exchange's
+	// flight. The anchor then advances so the next Wait starts fresh.
+	overlapped := time.Since(c.anchorWall) - (c.stats.ExchangeWall - c.anchorExchWall)
+	if overlapped > 0 {
+		c.stats.OverlapWall += overlapped
+	}
+
+	start := time.Now()
+	rraw, tmax, bmax, err := h.pe.Wait()
+	if err != nil {
+		collectiveFailed(c, "ialltoallv wait", err)
+	}
+	blocked := time.Since(start)
+	c.anchorWall = time.Now()
+	c.anchorExchWall = c.stats.ExchangeWall + blocked
+
+	cost := c.modelAlltoallv(bmax)
+	// The exchange occupied modeled time [tmax, tmax+cost]; whatever local
+	// progress the rank made past tmax hid that much of the cost.
+	hidden := c.clock - tmax
+	if hidden < 0 {
+		hidden = 0
+	}
+	if hidden > cost {
+		hidden = cost
+	}
+	c.stats.OverlapVirtual += hidden
+	if completion := tmax + cost; completion > c.clock {
+		c.clock = completion
+	}
+	c.stats.Alltoallvs++
+	c.stats.BytesSent += h.myBytes
+	c.stats.ExchangeWall += blocked
+
+	recv := make([][]T, len(rraw))
+	for src := range rraw {
+		recv[src] = castFromBytes[T](rraw[src], h.shared)
+	}
+	return recv
+}
+
+// PackedHandle is the completion handle of a non-blocking variable-length
+// exchange: two posted exchanges (payload bytes and item lengths), waited
+// in order.
+type PackedHandle struct {
+	data *Handle[byte]
+	lens *Handle[int32]
+}
+
+// IAlltoallvPacked posts a variable-length packed exchange (the
+// non-blocking AlltoallvPacked). Byte accounting covers both the payload
+// and the length vectors, exactly as the blocking form.
+func IAlltoallvPacked(c *Comm, send []PackedBufs) *PackedHandle {
+	if len(send) != c.Size() {
+		panic(fmt.Sprintf("spmd: IAlltoallvPacked send length %d != world size %d", len(send), c.Size()))
+	}
+	data := make([][]byte, c.Size())
+	lens := make([][]int32, c.Size())
+	for i := range send {
+		data[i] = send[i].Data
+		lens[i] = send[i].Lens
+	}
+	return &PackedHandle{data: IAlltoallv(c, data), lens: IAlltoallv(c, lens)}
+}
+
+// Wait blocks until both underlying exchanges complete and reassembles the
+// per-source packed buffers.
+func (h *PackedHandle) Wait() []PackedBufs {
+	rdata := h.data.Wait()
+	rlens := h.lens.Wait()
+	out := make([]PackedBufs, len(rdata))
+	for i := range out {
+		out[i] = PackedBufs{Data: rdata[i], Lens: rlens[i]}
+	}
+	return out
+}

@@ -1,10 +1,28 @@
 package spmd
 
+import "sync"
+
 // The in-process transport: ranks are goroutines in one address space,
 // collectives move data through a shared exchange matrix guarded by the
 // reusable cyclic barrier in barrier.go. Payloads are delivered zero-copy
 // (receivers alias the sender's memory), exactly as the runtime behaved
 // before the Transport split.
+//
+// Non-blocking exchanges bypass the barrier entirely: each posted
+// collective gets its own sequence-numbered slot (the per-rank counters
+// agree because SPMD ranks issue collectives in program order), so a rank
+// can post round r+1 while peers are still posting round r. A slot is
+// reclaimed once every rank has read its row.
+
+// memSlot is one outstanding non-blocking exchange: per-rank staged rows
+// plus the posting clocks/byte counts.
+type memSlot struct {
+	rows   [][][]byte // rows[src][dst]
+	clocks []float64
+	bytes  []float64
+	posted int
+	taken  int
+}
 
 // memWorld is the state shared by all ranks of one in-process world.
 type memWorld struct {
@@ -12,6 +30,11 @@ type memWorld struct {
 	cells [][]any // cells[src][dst]: staged payloads
 	vals  []any   // per-rank slots for gathers
 	bar   *barrier
+
+	amu      sync.Mutex
+	acond    *sync.Cond
+	slots    map[uint64]*memSlot // outstanding async exchanges by sequence
+	aaborted bool
 }
 
 func newMemWorld(p int) *memWorld {
@@ -20,11 +43,28 @@ func newMemWorld(p int) *memWorld {
 		cells: make([][]any, p),
 		vals:  make([]any, p),
 		bar:   newBarrier(p),
+		slots: make(map[uint64]*memSlot),
 	}
+	w.acond = sync.NewCond(&w.amu)
 	for i := range w.cells {
 		w.cells[i] = make([]any, p)
 	}
 	return w
+}
+
+// slot returns (creating if needed) the async slot for sequence seq.
+// Callers hold amu.
+func (w *memWorld) slot(seq uint64) *memSlot {
+	sl, ok := w.slots[seq]
+	if !ok {
+		sl = &memSlot{
+			rows:   make([][][]byte, w.size),
+			clocks: make([]float64, w.size),
+			bytes:  make([]float64, w.size),
+		}
+		w.slots[seq] = sl
+	}
+	return sl
 }
 
 // rank returns rank r's Transport handle on the world.
@@ -34,13 +74,77 @@ func (w *memWorld) rank(r int) Transport { return &memRank{w: w, rank: r} }
 type memRank struct {
 	w    *memWorld
 	rank int
+	aseq uint64 // next async collective sequence (consistent by SPMD order)
 }
 
 func (m *memRank) Rank() int    { return m.rank }
 func (m *memRank) Size() int    { return m.w.size }
 func (m *memRank) Shared() bool { return true }
-func (m *memRank) Abort()       { m.w.bar.abort() }
 func (m *memRank) Close() error { return nil }
+
+func (m *memRank) Abort() {
+	m.w.bar.abort()
+	m.w.amu.Lock()
+	m.w.aaborted = true
+	m.w.acond.Broadcast()
+	m.w.amu.Unlock()
+}
+
+// memPending is one rank's handle on an outstanding async exchange.
+type memPending struct {
+	m   *memRank
+	seq uint64
+}
+
+func (m *memRank) IAlltoallv(send [][]byte, clock, sentBytes float64) (PendingExchange, error) {
+	w := m.w
+	w.amu.Lock()
+	if w.aaborted {
+		w.amu.Unlock()
+		return nil, ErrAborted
+	}
+	sl := w.slot(m.aseq)
+	sl.rows[m.rank] = send
+	sl.clocks[m.rank] = clock
+	sl.bytes[m.rank] = sentBytes
+	sl.posted++
+	if sl.posted == w.size {
+		w.acond.Broadcast()
+	}
+	w.amu.Unlock()
+	h := &memPending{m: m, seq: m.aseq}
+	m.aseq++
+	return h, nil
+}
+
+func (p *memPending) Wait() ([][]byte, float64, float64, error) {
+	w := p.m.w
+	w.amu.Lock()
+	defer w.amu.Unlock()
+	sl := w.slots[p.seq]
+	for sl.posted < w.size && !w.aaborted {
+		w.acond.Wait()
+	}
+	if w.aaborted {
+		return nil, 0, 0, ErrAborted
+	}
+	recv := make([][]byte, w.size)
+	tmax, bmax := sl.clocks[0], sl.bytes[0]
+	for src := 0; src < w.size; src++ {
+		recv[src] = sl.rows[src][p.m.rank]
+		if sl.clocks[src] > tmax {
+			tmax = sl.clocks[src]
+		}
+		if sl.bytes[src] > bmax {
+			bmax = sl.bytes[src]
+		}
+	}
+	sl.taken++
+	if sl.taken == w.size {
+		delete(w.slots, p.seq)
+	}
+	return recv, tmax, bmax, nil
+}
 
 func (m *memRank) Alltoallv(send [][]byte, clock, sentBytes float64) ([][]byte, float64, float64, error) {
 	w := m.w

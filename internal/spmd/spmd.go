@@ -58,22 +58,40 @@ type CommModel interface {
 }
 
 // Stats accumulates one rank's communication accounting.
+//
+// For non-blocking exchanges (IAlltoallv), ExchangeVirtual still carries
+// the full modeled cost of every exchange, while OverlapVirtual counts the
+// portion of that cost hidden under local computation between post and
+// Wait — so elapsed modeled time is Exchange − Overlap. The wall clocks
+// split the same way: ExchangeWall is time actually blocked (inside
+// blocking collectives or Wait), OverlapWall is compute time that ran while
+// at least the waited exchange was in flight.
 type Stats struct {
 	Alltoallvs      int64         // number of all-to-all exchanges
 	Collectives     int64         // number of small collectives
 	BytesSent       int64         // payload bytes this rank contributed
 	ExchangeVirtual float64       // modeled seconds spent communicating
-	ExchangeWall    time.Duration // real host time spent inside collectives
+	OverlapVirtual  float64       // modeled exchange seconds hidden by compute
+	ExchangeWall    time.Duration // real host time spent blocked in collectives
+	OverlapWall     time.Duration // host compute time overlapping in-flight exchanges
 }
 
 // Comm is one rank's handle on the world: a Transport plus the rank's
 // virtual clock and accounting. It is confined to that rank's goroutine
 // (or process); only the transport synchronizes.
 type Comm struct {
-	tr    Transport
-	model CommModel
-	clock float64 // virtual seconds
-	stats Stats
+	tr      Transport
+	model   CommModel
+	clock   float64 // virtual seconds
+	stats   Stats
+	pending []uint64 // posted-but-unwaited non-blocking handles, FIFO
+	nextID  uint64
+	// Overlap-wall attribution anchor: the wall instant (and blocked-time
+	// watermark) up to which compute has already been credited to
+	// Stats.OverlapWall. Valid while handles are pending; advanced at
+	// every Wait so back-to-back handles never double-count a window.
+	anchorWall     time.Time
+	anchorExchWall time.Duration
 }
 
 // Rank returns this rank's index in [0, Size).
@@ -194,8 +212,20 @@ func collectiveFailed(c *Comm, op string, err error) {
 	panic(commError{fmt.Errorf("spmd: rank %d: %s: %w", c.Rank(), op, err)})
 }
 
+// requireIdle panics if a non-blocking exchange is still pending: a
+// blocking collective issued between a post and its Wait would consume the
+// pending exchange's frames on serializing transports and deliver wrong
+// data, so the schedule error fails loudly instead.
+func (c *Comm) requireIdle(op string) {
+	if len(c.pending) > 0 {
+		panic(fmt.Sprintf("spmd: rank %d issued blocking %s with %d non-blocking exchange(s) pending; Wait them first",
+			c.Rank(), op, len(c.pending)))
+	}
+}
+
 // Barrier synchronizes all ranks and their virtual clocks.
 func (c *Comm) Barrier() {
+	c.requireIdle("barrier")
 	start := time.Now()
 	t, err := c.tr.Barrier(c.clock)
 	if err != nil {
@@ -299,6 +329,7 @@ func Alltoallv[T any](c *Comm, send [][]T) [][]T {
 	if len(send) != p {
 		panic(fmt.Sprintf("spmd: Alltoallv send length %d != world size %d", len(send), p))
 	}
+	c.requireIdle("alltoallv")
 	shared := c.tr.Shared()
 	if !shared && !isPOD[T]() {
 		panic(fmt.Sprintf("spmd: Alltoallv element type %T contains pointers and cannot cross an address-space boundary", *new(T)))
@@ -368,6 +399,7 @@ const (
 // Shared-memory transports exchange the values directly; serializing
 // transports move them as gob blobs (values must be gob-encodable).
 func gatherVals[T any](c *Comm, v T) []T {
+	c.requireIdle("allgather")
 	start := time.Now()
 	var out []T
 	var tmax float64

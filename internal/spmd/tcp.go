@@ -65,12 +65,26 @@ type peerMsg struct {
 	err error
 }
 
-// peerConn is one persistent rank-to-rank connection.
+// outFrame is one queued outbound collective frame. wg is signalled once
+// the frame has been written and flushed (or failed, with the error stored
+// in *errp); the happens-before edge of wg makes errp safe to read after
+// wg.Wait.
+type outFrame struct {
+	f    *frame
+	wg   *sync.WaitGroup
+	errp *error
+}
+
+// peerConn is one persistent rank-to-rank connection. After world
+// formation a dedicated writer goroutine owns the outbound direction,
+// draining sendq in FIFO order — the property that keeps collective frames
+// sequence-ordered on the wire even with several exchanges in flight.
 type peerConn struct {
 	conn   net.Conn
-	wmu    sync.Mutex // serializes writes (collectives vs. abort)
+	wmu    sync.Mutex // serializes writes (writer goroutine vs. abort)
 	bw     *bufio.Writer
 	frames chan peerMsg
+	sendq  chan outFrame
 }
 
 type tcpTransport struct {
@@ -123,6 +137,7 @@ func DialTCP(cfg TCPConfig) (Transport, error) {
 		}
 		p.conn.SetDeadline(time.Time{})
 		go t.readLoop(p)
+		go t.writeLoop(p)
 	}
 	return t, nil
 }
@@ -298,10 +313,15 @@ func (t *tcpTransport) admit(r int, conn net.Conn) error {
 	t.peers[r] = &peerConn{
 		conn: conn,
 		bw:   bufio.NewWriterSize(conn, 64<<10),
-		// Capacity 2: a BSP peer can run at most one collective ahead
-		// (it cannot finish collective n+1 before we send our frame),
-		// so the reader never parks on a full channel in normal runs.
-		frames: make(chan peerMsg, 2),
+		// Capacity 8: with non-blocking exchanges a peer may post a few
+		// collectives ahead of our consumption (the round pipeline keeps
+		// two in flight, plus whatever blocking collective follows), so
+		// the reader needs headroom before it parks — a parked reader
+		// backpressures the peer's writer and, transitively, its posts.
+		frames: make(chan peerMsg, 8),
+		// Same bound on the outbound side: one frame per in-flight
+		// collective per peer.
+		sendq: make(chan outFrame, 8),
 	}
 	return nil
 }
@@ -315,6 +335,37 @@ func (p *peerConn) write(f *frame) error {
 		return err
 	}
 	return p.bw.Flush()
+}
+
+// writeLoop owns one peer connection's outbound direction after world
+// formation: it drains sendq in FIFO order (preserving collective sequence
+// order on the wire), flushes each frame, and signals the posting
+// collective's WaitGroup. A write failure poisons the world; the loop then
+// keeps draining so posts never block on a dead peer.
+func (t *tcpTransport) writeLoop(p *peerConn) {
+	for {
+		select {
+		case of := <-p.sendq:
+			if err := p.write(of.f); err != nil {
+				*of.errp = err
+				of.wg.Done()
+				t.Abort()
+				continue
+			}
+			of.wg.Done()
+		case <-t.done:
+			// Fail any frames still queued so pending Waits unwind.
+			for {
+				select {
+				case of := <-p.sendq:
+					*of.errp = ErrAborted
+					of.wg.Done()
+				default:
+					return
+				}
+			}
+		}
+	}
 }
 
 // readLoop decodes frames from one peer for the life of the world,
@@ -368,48 +419,76 @@ func (t *tcpTransport) recvColl(src int, seq uint64) (frame, error) {
 	}
 }
 
-// exchange is the shared engine of every collective: send send[dst] to
-// each peer with this rank's (clock, bytes) in the header, receive one
-// frame from each peer, and fold the world maxima. send[rank] is returned
-// in place as recv[rank].
-func (t *tcpTransport) exchange(send [][]byte, clock, sentBytes float64) ([][]byte, float64, float64, error) {
+// tcpPending is one posted non-blocking exchange: the sequence it was
+// assigned, this rank's contributions, the receive buffers, and the write
+// completion tracking shared with the per-peer writer goroutines.
+type tcpPending struct {
+	t            *tcpTransport
+	seq          uint64
+	clock, bytes float64
+	recv         [][]byte
+	wg           sync.WaitGroup
+	writeErrs    []error
+}
+
+// IAlltoallv posts one collective: a frame per peer is enqueued on the
+// per-peer writer goroutines (FIFO per connection, so frames stay in
+// sequence order on the wire) and the handle is returned without waiting
+// for either the writes or the peers.
+func (t *tcpTransport) IAlltoallv(send [][]byte, clock, sentBytes float64) (PendingExchange, error) {
 	if t.isAborted() {
-		return nil, 0, 0, ErrAborted
+		return nil, ErrAborted
 	}
 	seq := t.seq
 	t.seq++
-	recv := make([][]byte, t.size)
-	recv[t.rank] = send[t.rank]
-
-	writeErrs := make([]error, t.size)
-	var wg sync.WaitGroup
+	h := &tcpPending{
+		t: t, seq: seq, clock: clock, bytes: sentBytes,
+		recv:      make([][]byte, t.size),
+		writeErrs: make([]error, t.size),
+	}
+	h.recv[t.rank] = send[t.rank]
 	for dst := 0; dst < t.size; dst++ {
 		if dst == t.rank {
 			continue
 		}
-		wg.Add(1)
-		go func(dst int) {
-			defer wg.Done()
-			writeErrs[dst] = t.peers[dst].write(&frame{
+		h.wg.Add(1)
+		of := outFrame{
+			f: &frame{
 				Type: frameColl, Seq: seq,
 				Clock: clock, Bytes: sentBytes,
 				Payload: send[dst],
-			})
-		}(dst)
+			},
+			wg:   &h.wg,
+			errp: &h.writeErrs[dst],
+		}
+		select {
+		case t.peers[dst].sendq <- of:
+		case <-t.done:
+			h.writeErrs[dst] = ErrAborted
+			h.wg.Done()
+		}
 	}
+	return h, nil
+}
 
-	maxClock, maxBytes := clock, sentBytes
+// Wait blocks for one frame from every peer (enforcing the handle's
+// sequence number), then for this rank's own writes to flush — so that
+// once the final collective of a world has been waited, a graceful Close
+// cannot strand bytes a peer is still expecting.
+func (h *tcpPending) Wait() ([][]byte, float64, float64, error) {
+	t := h.t
+	maxClock, maxBytes := h.clock, h.bytes
 	var collErr error
 	for src := 0; src < t.size; src++ {
 		if src == t.rank {
 			continue
 		}
-		f, err := t.recvColl(src, seq)
+		f, err := t.recvColl(src, h.seq)
 		if err != nil {
 			collErr = err
 			break
 		}
-		recv[src] = f.Payload
+		h.recv[src] = f.Payload
 		if f.Clock > maxClock {
 			maxClock = f.Clock
 		}
@@ -418,26 +497,62 @@ func (t *tcpTransport) exchange(send [][]byte, clock, sentBytes float64) ([][]by
 		}
 	}
 	if collErr == nil {
-		wg.Wait()
-		for _, err := range writeErrs {
+		h.wg.Wait()
+		for _, err := range h.writeErrs {
 			if err != nil {
 				collErr = fmt.Errorf("spmd: collective send failed: %w", err)
 				break
 			}
 		}
 		if collErr == nil {
-			return recv, maxClock, maxBytes, nil
+			return h.recv, maxClock, maxBytes, nil
 		}
 	}
 	// Failure path. Classify before tearing down (Abort sets the flag we
-	// map to ErrAborted), then abort the world so writer goroutines still
-	// blocked on a wedged peer unwind before we return.
+	// map to ErrAborted), then abort the world so the writer goroutines
+	// fail any still-queued frames before we return. failQueued backstops
+	// the race where a post enqueued a frame just as its writeLoop drained
+	// and exited — without it that frame's Done would never fire and the
+	// wg.Wait below would hang instead of unwinding with ErrAborted.
 	if t.isAborted() || errors.Is(collErr, ErrAborted) {
 		collErr = ErrAborted
 	}
 	t.Abort()
-	wg.Wait()
+	t.failQueued()
+	h.wg.Wait()
 	return nil, 0, 0, collErr
+}
+
+// failQueued drains every peer's send queue, failing the queued frames.
+// Only the rank's own goroutine posts frames, and it is the caller here,
+// so no new frame can appear behind the sweep; anything a writeLoop still
+// holds mid-write fails through the closed connection instead.
+func (t *tcpTransport) failQueued() {
+	for r, p := range t.peers {
+		if r == t.rank || p == nil {
+			continue
+		}
+		for {
+			select {
+			case of := <-p.sendq:
+				*of.errp = ErrAborted
+				of.wg.Done()
+				continue
+			default:
+			}
+			break
+		}
+	}
+}
+
+// exchange is the shared engine of every blocking collective: one posted
+// exchange waited immediately.
+func (t *tcpTransport) exchange(send [][]byte, clock, sentBytes float64) ([][]byte, float64, float64, error) {
+	h, err := t.IAlltoallv(send, clock, sentBytes)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return h.Wait()
 }
 
 func (t *tcpTransport) Rank() int    { return t.rank }

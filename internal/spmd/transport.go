@@ -30,6 +30,19 @@ type Transport interface {
 	// maxBytes are their maxima over all ranks.
 	Alltoallv(send [][]byte, clock, sentBytes float64) (recv [][]byte, maxClock, maxBytes float64, err error)
 
+	// IAlltoallv posts the same irregular all-to-all without blocking and
+	// returns a completion handle. The posting rank's clock contribution is
+	// its clock at post time, so the returned maxClock is the exchange's
+	// BSP start time regardless of how much local work ran before Wait.
+	//
+	// Ordering contract (the typed layer in async.go enforces it): every
+	// rank posts collectives in the same order, outstanding handles are
+	// waited in posting order, and no other collective is issued while a
+	// handle is pending except posting further exchanges. On shared
+	// transports the send buffers are handed off at post time and must not
+	// be mutated afterwards.
+	IAlltoallv(send [][]byte, clock, sentBytes float64) (PendingExchange, error)
+
 	// Allgather distributes blob to every rank, returning all ranks'
 	// blobs in rank order along with the clock maximum.
 	Allgather(blob []byte, clock float64) (blobs [][]byte, maxClock float64, err error)
@@ -52,6 +65,16 @@ type Transport interface {
 	// buffers crossed an address-space boundary and the typed layer must
 	// treat element types containing pointers as unserializable.
 	Shared() bool
+}
+
+// PendingExchange is a transport-level handle on one posted non-blocking
+// all-to-all. Wait blocks until every rank has posted the matching
+// collective and all payloads are available, returning exactly what the
+// blocking Alltoallv would have: the received buffers plus the world maxima
+// of the posting clocks and sent-byte counts. Wait must be called exactly
+// once.
+type PendingExchange interface {
+	Wait() (recv [][]byte, maxClock, maxBytes float64, err error)
 }
 
 // anyGatherer is an optional fast path for transports whose ranks share an

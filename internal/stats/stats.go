@@ -15,23 +15,48 @@ import (
 
 // Breakdown splits one stage's cost into the paper's three buckets, in
 // both modeled (virtual) seconds and measured host wall time.
+//
+// The Overlap buckets account for non-blocking exchanges: OverlapVirtual
+// is the portion of ExchangeVirtual that ran concurrently with the Pack and
+// Local work (so stage elapsed time is max-like, not a sum), and
+// OverlapWall is the host compute time that ran while an exchange was in
+// flight. ExchangeWall counts only time actually blocked. Bulk-synchronous
+// stages leave both at zero and the arithmetic reduces to the old sums.
 type Breakdown struct {
 	PackVirtual     float64
 	LocalVirtual    float64
 	ExchangeVirtual float64
+	OverlapVirtual  float64
 	PackWall        time.Duration
 	LocalWall       time.Duration
 	ExchangeWall    time.Duration
+	OverlapWall     time.Duration
 }
 
-// TotalVirtual returns the modeled seconds across all buckets.
+// TotalVirtual returns the modeled elapsed seconds: the bucket sum minus
+// the exchange time hidden under computation.
 func (b Breakdown) TotalVirtual() float64 {
-	return b.PackVirtual + b.LocalVirtual + b.ExchangeVirtual
+	return b.PackVirtual + b.LocalVirtual + b.ExchangeVirtual - b.OverlapVirtual
 }
 
 // TotalWall returns the measured host time across all buckets.
+// ExchangeWall is blocked time only, so no overlap subtraction applies.
 func (b Breakdown) TotalWall() time.Duration {
 	return b.PackWall + b.LocalWall + b.ExchangeWall
+}
+
+// OverlapFraction returns the share of the stage's exchange cost that was
+// hidden under computation: modeled when any virtual time exists, measured
+// otherwise (where the denominator is blocked plus overlapped time).
+func (b Breakdown) OverlapFraction() float64 {
+	if b.ExchangeVirtual > 0 {
+		return b.OverlapVirtual / b.ExchangeVirtual
+	}
+	denom := b.ExchangeWall + b.OverlapWall
+	if denom <= 0 {
+		return 0
+	}
+	return float64(b.OverlapWall) / float64(denom)
 }
 
 // Add accumulates another breakdown into b.
@@ -39,9 +64,11 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.PackVirtual += o.PackVirtual
 	b.LocalVirtual += o.LocalVirtual
 	b.ExchangeVirtual += o.ExchangeVirtual
+	b.OverlapVirtual += o.OverlapVirtual
 	b.PackWall += o.PackWall
 	b.LocalWall += o.LocalWall
 	b.ExchangeWall += o.ExchangeWall
+	b.OverlapWall += o.OverlapWall
 }
 
 // Imbalance returns max/mean over per-rank values — the paper's Fig. 8
