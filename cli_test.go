@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -136,6 +137,107 @@ func TestCLITCPTransportMatchesMem(t *testing.T) {
 	if !bytes.Equal(memBytes, tcpBytes) {
 		t.Errorf("PAF output differs between transports (%d vs %d bytes)",
 			len(memBytes), len(tcpBytes))
+	}
+}
+
+// TestCLIHostListMatchesMem is the multi-host acceptance check: a 4-rank
+// world spanning two simulated "hosts" (-hosts 127.0.0.1,127.0.0.1 forks
+// a real `-join` agent process for the second host, which forks its own
+// worker) must produce byte-identical PAF to the in-process run, with
+// each rank parsing only its byte-range shard of the input.
+func TestCLIHostListMatchesMem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	dir := t.TempDir()
+	seqgen := buildTool(t, dir, "./cmd/seqgen")
+	dibella := buildTool(t, dir, "./cmd/dibella")
+
+	reads := filepath.Join(dir, "reads.fastq")
+	if out, err := exec.Command(seqgen,
+		"-genome", "30000", "-coverage", "10", "-mean-len", "1500",
+		"-error-rate", "0.06", "-seed", "11", "-out", reads,
+	).CombinedOutput(); err != nil {
+		t.Fatalf("seqgen: %v\n%s", err, out)
+	}
+	readsSize := func() int64 {
+		fi, err := os.Stat(reads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}()
+
+	memPAF := filepath.Join(dir, "mem.paf")
+	hostsPAF := filepath.Join(dir, "hosts.paf")
+	common := []string{"-in", reads, "-p", "4", "-k", "17", "-error-rate", "0.06"}
+	if out, err := exec.Command(dibella,
+		append(common, "-out", memPAF)...).CombinedOutput(); err != nil {
+		t.Fatalf("dibella -transport mem: %v\n%s", err, out)
+	}
+	out, err := exec.Command(dibella, append(common,
+		"-transport", "tcp", "-hosts", "127.0.0.1,127.0.0.1",
+		"-breakdown", "-out", hostsPAF)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("dibella -hosts: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"world of 4 ranks over 2 hosts", // launcher banner
+		"joined, assigned ranks 2-3",    // the simulated host's join
+		"[host 1] ",                     // its prefixed agent output
+		"input bytes parsed per rank:",  // the cooperative-I/O counter
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("hosts run output missing %q:\n%s", want, out)
+		}
+	}
+	// Each rank parsed a proper shard and the shards tile the file.
+	for _, line := range strings.Split(string(out), "\n") {
+		rest, ok := strings.CutPrefix(line, "input bytes parsed per rank:")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 4 {
+			t.Fatalf("expected 4 per-rank counters, got %q", line)
+		}
+		var sum int64
+		for r, f := range fields {
+			n, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				t.Fatalf("counter %q: %v", f, err)
+			}
+			if n <= 0 || n >= readsSize {
+				t.Errorf("rank %d parsed %d bytes of a %d-byte file, want a proper shard", r, n, readsSize)
+			}
+			sum += n
+		}
+		if sum != readsSize {
+			t.Errorf("per-rank counters sum to %d, file is %d bytes", sum, readsSize)
+		}
+	}
+
+	memBytes, err := os.ReadFile(memPAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostsBytes, err := os.ReadFile(hostsPAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(memBytes) == 0 {
+		t.Fatal("mem run produced an empty PAF")
+	}
+	if !bytes.Equal(memBytes, hostsBytes) {
+		t.Errorf("PAF output differs between mem and -hosts runs (%d vs %d bytes)",
+			len(memBytes), len(hostsBytes))
+	}
+
+	// The internal worker plumbing is env-based now; the old flags must
+	// be rejected, not silently accepted.
+	if out, err := exec.Command(dibella,
+		"-in", reads, "-rank", "1", "-rendezvous", "127.0.0.1:9").CombinedOutput(); err == nil {
+		t.Errorf("-rank/-rendezvous accepted:\n%s", out)
 	}
 }
 

@@ -4,30 +4,39 @@
 // Usage:
 //
 //	dibella -in reads.fastq -out overlaps.paf -p 8 -seed-mode one
-//	dibella -in reads.fastq -platform cori -nodes 8   # modeled platform run
-//	dibella -in reads.fastq -transport tcp -p 4       # 4 OS processes over TCP
+//	dibella -in reads.fastq -platform cori -nodes 8     # modeled platform run
+//	dibella -in reads.fastq -transport tcp -p 4         # 4 OS processes over TCP
+//	dibella -in reads.fastq -hosts n1,n2:4 -p 8         # multi-host world
+//	dibella -in reads.fastq -join n1:33441              # enter a -hosts world
 //
 // With -transport tcp the process acts as a launcher: it binds a loopback
 // rendezvous port, forks P-1 copies of itself as worker processes (ranks
-// 1..P-1), and participates as rank 0. The workers form a full TCP mesh
-// with rank 0 and run the identical bulk-synchronous pipeline, exchanging
-// k-mers, overlap tasks, and read sequences over sockets instead of shared
-// memory; output is byte-identical to a -transport mem run. The -rank and
-// -rendezvous flags are the internal worker-mode plumbing the launcher
-// uses and are not set by hand.
+// 1..P-1, coordinates passed through DIBELLA_* environment variables —
+// see the README's env-var contract), and participates as rank 0. The
+// workers form a full TCP mesh with rank 0 and run the identical
+// bulk-synchronous pipeline; each rank parses only its byte-range shard
+// of the input (cooperative I/O) and output is byte-identical to a
+// -transport mem run.
+//
+// With -hosts (or -hostfile) the world spans machines: the launcher
+// assigns each host a contiguous rank range, binds public rendezvous and
+// join ports, and prints the `dibella -join <addr>` command to run on
+// each remote host. Host entries that resolve to loopback are simulated —
+// the launcher forks their join agents locally — so a multi-host launch
+// can be rehearsed on one machine. Schedulers that already place one
+// process per rank skip all of this by exporting DIBELLA_RANK,
+// DIBELLA_WORLD_SIZE, and DIBELLA_RENDEZVOUS directly.
 //
 // With -platform, the report additionally carries modeled per-stage times
 // for the chosen machine (see -breakdown).
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
-	"net"
 	"os"
-	"os/exec"
 	"strconv"
+	"time"
 
 	"dibella/internal/fastq"
 	"dibella/internal/machine"
@@ -60,11 +69,32 @@ func main() {
 		asyncEx  = flag.Bool("async-exchange", true, "overlap exchanges with computation via non-blocking collectives (same output; disable for the paper's bulk-synchronous schedule)")
 		allSeeds = flag.Bool("keep-all-seed-alignments", false, "emit one PAF row per explored seed instead of the best per (pair, strand)")
 
-		transport  = flag.String("transport", "mem", "spmd backend: mem (goroutine ranks) | tcp (one OS process per rank)")
-		rank       = flag.Int("rank", -1, "internal: this worker process's rank (set by the tcp launcher)")
-		rendezvous = flag.String("rendezvous", "", "internal: rank-0 rendezvous address (set by the tcp launcher)")
+		transport   = flag.String("transport", "mem", "spmd backend: mem (goroutine ranks) | tcp (one OS process per rank)")
+		hosts       = flag.String("hosts", "", "comma-separated host[:ranks] list for a multi-host TCP world (first entry is this machine; loopback entries are simulated locally)")
+		hostfile    = flag.String("hostfile", "", "file with one host[:ranks] per line (alternative to -hosts)")
+		join        = flag.String("join", "", "enter a -hosts world: the launcher's join address printed at launch")
+		formTimeout = flag.Duration("form-timeout", 30*time.Second, "world-formation deadline (dials, handshakes, host joins)")
 	)
 	flag.Parse()
+
+	// A worker forked by a launcher (or placed by a scheduler) carries its
+	// coordinates in DIBELLA_* env vars; -rank/-rendezvous style flags no
+	// longer exist, so internal plumbing cannot be passed by hand.
+	envBoot, isWorker, err := spmd.JoinBootstrapFromEnv()
+	if err != nil {
+		fatal(err)
+	}
+	joinAddr, hostIndex := *join, 0
+	if joinAddr == "" {
+		// Simulated host agents are forked with the join address in env.
+		joinAddr = os.Getenv(spmd.EnvJoin)
+		if idx := os.Getenv(spmd.EnvHostIndex); idx != "" {
+			if hostIndex, err = strconv.Atoi(idx); err != nil {
+				fatal(fmt.Errorf("%s=%q: %w", spmd.EnvHostIndex, idx, err))
+			}
+		}
+	}
+
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "dibella: -in is required")
 		flag.Usage()
@@ -73,15 +103,54 @@ func main() {
 	if *transport != "mem" && *transport != "tcp" {
 		fatal(fmt.Errorf("unknown -transport %q (want mem or tcp)", *transport))
 	}
-	// Worker processes report through rank 0; keep their stderr quiet.
-	chatty := *rank <= 0
-
-	reads, err := fastq.ReadFile(*in)
-	if err != nil {
-		fatal(err)
+	if *hosts != "" && *hostfile != "" {
+		fatal(fmt.Errorf("-hosts and -hostfile are mutually exclusive"))
 	}
-	if chatty {
-		fmt.Fprintf(os.Stderr, "loaded %s: %s\n", *in, fastq.Summarize(reads))
+	transportSet, pSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "transport":
+			transportSet = true
+		case "p":
+			pSet = true
+		}
+	})
+	// Multi-host modes and env-placed workers are TCP by construction.
+	if isWorker || joinAddr != "" || *hosts != "" || *hostfile != "" {
+		if transportSet && *transport == "mem" {
+			fatal(fmt.Errorf("-transport mem cannot form a multi-host world; drop it or use -transport tcp"))
+		}
+		*transport = "tcp"
+	}
+
+	// Resolve the host list (launcher only): explicit per-host counts may
+	// determine the world size on their own.
+	var hostList []spmd.HostSpec
+	if !isWorker && joinAddr == "" && (*hosts != "" || *hostfile != "") {
+		if *hosts != "" {
+			hostList, err = spmd.ParseHostList(*hosts)
+		} else {
+			hostList, err = spmd.ParseHostFile(*hostfile)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		explicit, allExplicit := 0, true
+		for _, h := range hostList {
+			explicit += h.Ranks
+			allExplicit = allExplicit && h.Ranks > 0
+		}
+		if allExplicit && !pSet {
+			*p = explicit
+		}
+		if hostList, err = spmd.AssignHostRanks(hostList, *p); err != nil {
+			fatal(err)
+		}
+	}
+	if isWorker {
+		// The forked command line still carries the launcher's flags;
+		// the env contract is authoritative for world shape.
+		*p = envBoot.Size
 	}
 
 	cfg := pipeline.Config{
@@ -105,140 +174,144 @@ func main() {
 		fatal(fmt.Errorf("unknown -seed-mode %q", *seedMode))
 	}
 
-	var mdl *machine.Model
+	// Resolve the platform early (flag errors should beat any forking);
+	// the model itself is shaped per world size, which TCP processes may
+	// only learn at world formation (join agents), so it is built later.
+	var plat *machine.Platform
 	if *platform != "" {
-		plat, err := machine.PlatformByName(*platform)
+		pv, err := machine.PlatformByName(*platform)
 		if err != nil {
 			fatal(err)
 		}
-		mdl, err = machine.NewModelScaled(plat, *nodes, *p)
-		if err != nil {
-			fatal(err)
-		}
-		if chatty {
-			fmt.Fprintf(os.Stderr, "modeling %s, %d nodes (%d ranks) with %d %s ranks\n",
-				plat.Name, *nodes, mdl.RealRanks(), *p, *transport)
-		}
+		plat = &pv
 	}
 
-	var rep *pipeline.Report
-	switch {
-	case *transport == "mem":
-		rep, err = pipeline.Execute(*p, mdl, reads, cfg)
-	case *rank >= 0:
-		rep, err = runTCPWorker(*rank, *p, *rendezvous, nil, mdl, reads, cfg)
-	default:
-		rep, err = runTCPLauncher(*p, mdl, reads, cfg)
+	if *transport == "mem" {
+		var mdl *machine.Model
+		if plat != nil {
+			var err error
+			if mdl, err = machine.NewModelScaled(*plat, *nodes, *p); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "modeling %s, %d nodes (%d ranks) with %d mem ranks\n",
+				plat.Name, *nodes, mdl.RealRanks(), *p)
+		}
+		reads, err := fastq.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: %s\n", *in, fastq.Summarize(reads))
+		rep, err := pipeline.Execute(*p, mdl, reads, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		writeOutput(rep, rep.PAFRecords(reads), *out, *showBrk)
+		return
 	}
+
+	// TCP path: pick the bootstrap that matches how this process was
+	// started, form the world, and run the pipeline with cooperative
+	// sharded loading.
+	var boot spmd.Bootstrap
+	switch {
+	case isWorker:
+		envBoot.Timeout = pickTimeout(envBoot.Timeout, *formTimeout)
+		boot = envBoot
+	case joinAddr != "":
+		boot = &spmd.HostJoinBootstrap{Addr: joinAddr, HostIndex: hostIndex, Timeout: *formTimeout}
+	case hostList != nil:
+		boot = &spmd.HostListBootstrap{Hosts: hostList, Timeout: *formTimeout}
+	default:
+		boot = &spmd.ForkBootstrap{Size: *p, Timeout: *formTimeout}
+	}
+	rep, store, rank, err := runTCP(boot, plat, *nodes, *in, cfg)
 	if err != nil {
 		fatal(err)
 	}
-	if *rank > 0 {
-		return // workers: rank 0 owns all output
+	if rank != 0 {
+		return // workers and join agents: rank 0 owns all output
 	}
-	fmt.Fprintln(os.Stderr, rep.Summary())
+	writeOutput(rep, rep.PAFRecordsFromStore(store), *out, *showBrk)
+}
 
-	if *showBrk {
+// pickTimeout prefers the env-propagated formation deadline over the
+// flag's (inherited, launcher-side) value.
+func pickTimeout(env, flag time.Duration) time.Duration {
+	if env > 0 {
+		return env
+	}
+	return flag
+}
+
+// runTCP forms this process's world endpoint via the bootstrap, runs the
+// pipeline collectively over it with cooperative sharded input loading,
+// and reaps whatever the bootstrap forked. rank is this process's rank in
+// the world (-1 if formation failed). The platform model is shaped to the
+// formed world's size — a join agent or env worker learns that size only
+// here, not from its own flags.
+func runTCP(boot spmd.Bootstrap, plat *machine.Platform, nodes int, path string,
+	cfg pipeline.Config) (*pipeline.Report, *fastq.ReadStore, int, error) {
+
+	tr, err := spmd.Connect(boot)
+	if err != nil {
+		return nil, nil, -1, boot.Finish(err)
+	}
+	rank := tr.Rank()
+	var mdl *machine.Model
+	if plat != nil {
+		if mdl, err = machine.NewModelScaled(*plat, nodes, tr.Size()); err != nil {
+			// Deterministic in (platform, nodes, size), so every rank
+			// fails identically; abort just backstops a partial world.
+			tr.Abort()
+			tr.Close()
+			return nil, nil, rank, boot.Finish(err)
+		}
+		if rank == 0 {
+			fmt.Fprintf(os.Stderr, "modeling %s, %d nodes (%d ranks) with %d tcp ranks\n",
+				plat.Name, nodes, mdl.RealRanks(), tr.Size())
+		}
+	}
+	var comm spmd.CommModel
+	if mdl != nil {
+		comm = mdl
+	}
+	var rep *pipeline.Report
+	var store *fastq.ReadStore
+	runErr := spmd.RunTransport(tr, comm, func(c *spmd.Comm) error {
+		s, err := pipeline.LoadStore(c, path)
+		if err != nil {
+			return err
+		}
+		store = s
+		if c.Rank() == 0 {
+			fmt.Fprintf(os.Stderr, "loaded %s cooperatively: %s (rank 0 parsed %d bytes)\n",
+				path, s.Stats(), s.ParsedBytes)
+		}
+		r, err := pipeline.ExecuteComm(c, mdl, s, cfg)
+		rep = r
+		return err
+	})
+	return rep, store, rank, boot.Finish(runErr)
+}
+
+// writeOutput prints the run summary (and breakdown) and writes the PAF
+// stream.
+func writeOutput(rep *pipeline.Report, recs []paf.Record, outPath string, breakdown bool) {
+	fmt.Fprintln(os.Stderr, rep.Summary())
+	if breakdown {
 		printBreakdown(rep)
 	}
-
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if outPath != "" {
+		f, err := os.Create(outPath)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
 		w = f
 	}
-	if err := paf.Write(w, rep.PAFRecords(reads)); err != nil {
+	if err := paf.Write(w, recs); err != nil {
 		fatal(err)
-	}
-}
-
-// runTCPWorker joins the TCP world as one rank and runs the pipeline
-// collectively. ln, when non-nil, is the launcher's pre-bound rendezvous
-// listener (rank 0 only).
-func runTCPWorker(rank, p int, rendezvous string, ln net.Listener, mdl *machine.Model,
-	reads []*fastq.Record, cfg pipeline.Config) (*pipeline.Report, error) {
-
-	if rendezvous == "" {
-		return nil, fmt.Errorf("tcp worker mode needs -rendezvous")
-	}
-	tr, err := spmd.DialTCP(spmd.TCPConfig{
-		Rank: rank, Size: p, Rendezvous: rendezvous, Listener: ln,
-	})
-	if err != nil {
-		return nil, err
-	}
-	var comm spmd.CommModel
-	if mdl != nil {
-		comm = mdl
-	}
-	store := fastq.NewReadStore(reads, p)
-	var rep *pipeline.Report
-	err = spmd.RunTransport(tr, comm, func(c *spmd.Comm) error {
-		r, err := pipeline.ExecuteComm(c, mdl, store, cfg)
-		rep = r
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	return rep, nil
-}
-
-// runTCPLauncher binds the rendezvous port, forks ranks 1..p-1 as copies
-// of this binary, and participates as rank 0. It returns rank 0's report
-// once every worker has exited cleanly.
-func runTCPLauncher(p int, mdl *machine.Model, reads []*fastq.Record,
-	cfg pipeline.Config) (*pipeline.Report, error) {
-
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("binding rendezvous port: %w", err)
-	}
-	addr := ln.Addr().String()
-	exe, err := os.Executable()
-	if err != nil {
-		ln.Close()
-		return nil, err
-	}
-	fmt.Fprintf(os.Stderr, "tcp transport: launching %d worker processes (rendezvous %s)\n", p-1, addr)
-	workers := make([]*exec.Cmd, 0, p-1)
-	for r := 1; r < p; r++ {
-		args := append(append([]string{}, os.Args[1:]...),
-			"-rank", strconv.Itoa(r), "-rendezvous", addr)
-		cmd := exec.Command(exe, args...)
-		cmd.Stdout = os.Stderr // a worker never owns the PAF stream
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			ln.Close()
-			reapWorkers(workers)
-			return nil, fmt.Errorf("starting worker rank %d: %w", r, err)
-		}
-		workers = append(workers, cmd)
-	}
-
-	rep, runErr := runTCPWorker(0, p, addr, ln, mdl, reads, cfg)
-	for i, cmd := range workers {
-		err := cmd.Wait()
-		// When a worker fails, rank 0 typically unwinds first with the
-		// generic ErrAborted; prefer the worker's own exit error so the
-		// originating failure is what surfaces.
-		if err != nil && (runErr == nil || errors.Is(runErr, spmd.ErrAborted)) {
-			runErr = fmt.Errorf("worker rank %d: %w", i+1, err)
-		}
-	}
-	return rep, runErr
-}
-
-// reapWorkers kills and waits out already-started workers after a launch
-// failure so none linger.
-func reapWorkers(workers []*exec.Cmd) {
-	for _, cmd := range workers {
-		cmd.Process.Kill()
-		cmd.Wait()
 	}
 }
 
@@ -257,6 +330,7 @@ func printBreakdown(rep *pipeline.Report) {
 	fmt.Fprint(os.Stderr, stats.FormatTable(headers, rows))
 	fmt.Fprintf(os.Stderr, "alignment load imbalance: %.3f (tasks %.4f)\n",
 		rep.AlignImbalance(), rep.TaskImbalance())
+	fmt.Fprintln(os.Stderr, pipeline.DescribeLoad(rep))
 }
 
 func fatal(err error) {

@@ -269,12 +269,26 @@ func Partition(n, p int) [][2]int {
 // memory"; with long-read length variance this differs measurably from a
 // count split.
 func PartitionByBytes(recs []*Record, p int) [][2]int {
+	lens := make([]int32, len(recs))
+	for i, r := range recs {
+		lens[i] = int32(r.Len())
+	}
+	return PartitionLens(lens, p)
+}
+
+// PartitionLens is PartitionByBytes over a length vector alone — the form
+// a cooperative sharded load can evaluate after allgathering per-read
+// lengths, without any rank holding the full record set. The two always
+// produce identical ranges, which is what keeps a sharded run's block
+// distribution (and therefore its output) byte-identical to a whole-file
+// load's.
+func PartitionLens(lens []int32, p int) [][2]int {
 	if p <= 0 {
 		panic("fastq: non-positive partition count")
 	}
 	total := 0
-	for _, r := range recs {
-		total += r.Len()
+	for _, n := range lens {
+		total += int(n)
 	}
 	ranges := make([][2]int, p)
 	start := 0
@@ -282,14 +296,14 @@ func PartitionByBytes(recs []*Record, p int) [][2]int {
 	for i := 0; i < p; i++ {
 		target := (total*(i+1) + p - 1) / p
 		end := start
-		for end < len(recs) && (acc < target || i == p-1) {
-			acc += recs[end].Len()
+		for end < len(lens) && (acc < target || i == p-1) {
+			acc += int(lens[end])
 			end++
 		}
 		ranges[i] = [2]int{start, end}
 		start = end
 	}
-	ranges[p-1][1] = len(recs)
+	ranges[p-1][1] = len(lens)
 	return ranges
 }
 
@@ -312,8 +326,7 @@ func SplitOffsets(path string, p int) ([]int64, error) {
 	offsets := make([]int64, p+1)
 	offsets[p] = size
 	for i := 1; i < p; i++ {
-		guess := size * int64(i) / int64(p)
-		adj, err := nextRecordStart(f, guess, size)
+		adj, err := splitBoundary(f, i, p, size)
 		if err != nil {
 			return nil, err
 		}
@@ -326,6 +339,47 @@ func SplitOffsets(path string, p int) ([]int64, error) {
 		}
 	}
 	return offsets, nil
+}
+
+// ShardOffsets returns the [start,end) byte range of the rank'th of size
+// shards: exactly the two boundaries SplitOffsets would assign, without
+// scanning the other size-2 boundaries. A P-rank cooperative load where
+// every rank computes only its own range therefore costs O(P) boundary
+// scans in aggregate instead of the O(P²) of P full SplitOffsets calls —
+// and because splitBoundary is monotone in the split index, adjacent
+// ranks' independently computed boundaries agree, so the shards tile the
+// file exactly.
+func ShardOffsets(path string, rank, size int) (start, end int64, err error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	if start, err = splitBoundary(f, rank, size, fi.Size()); err != nil {
+		return 0, 0, err
+	}
+	if end, err = splitBoundary(f, rank+1, size, fi.Size()); err != nil {
+		return 0, 0, err
+	}
+	if end < start {
+		end = start // mirror SplitOffsets' defensive monotonicity clamp
+	}
+	return start, end, nil
+}
+
+// splitBoundary computes the i'th of p record-aligned split offsets.
+func splitBoundary(f *os.File, i, p int, size int64) (int64, error) {
+	if i <= 0 {
+		return 0, nil
+	}
+	if i >= p {
+		return size, nil
+	}
+	return nextRecordStart(f, size*int64(i)/int64(p), size)
 }
 
 const (
@@ -416,6 +470,87 @@ func min64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// LoadShard parses only this rank's shard of a read file: the records
+// fully contained in the rank'th of size record-boundary-aligned byte
+// ranges (SplitOffsets). The concatenation of all ranks' shards, in rank
+// order, is exactly the whole file's record sequence — so global read IDs
+// assigned by rank-order concatenation match a whole-file load.
+//
+// parsed is the number of input bytes this process actually read and
+// parsed: the shard's byte extent on the cooperative path. Inputs the
+// byte-range splitter cannot handle (gzip streams, FASTA's variable
+// record shape) fall back to every rank parsing the whole file and
+// keeping its record-count share, reported honestly as the full file
+// size.
+func LoadShard(path string, rank, size int) (recs []*Record, parsed int64, err error) {
+	if size <= 0 {
+		return nil, 0, fmt.Errorf("fastq: non-positive shard count %d", size)
+	}
+	if rank < 0 || rank >= size {
+		return nil, 0, fmt.Errorf("fastq: shard %d out of range [0,%d)", rank, size)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if size == 1 {
+		recs, err := ReadFile(path)
+		return recs, fi.Size(), err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		return loadShardWhole(path, rank, size, fi.Size())
+	}
+	fasta, err := isFastaFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if fasta {
+		return loadShardWhole(path, rank, size, fi.Size())
+	}
+	start, end, err := ShardOffsets(path, rank, size)
+	if err != nil {
+		return nil, 0, err
+	}
+	recs, err = ReadRange(path, start, end)
+	if err != nil {
+		return nil, 0, err
+	}
+	return recs, end - start, nil
+}
+
+// loadShardWhole is LoadShard's fallback for unsplittable inputs: parse
+// everything, keep the rank's record-count share.
+func loadShardWhole(path string, rank, size int, fileSize int64) ([]*Record, int64, error) {
+	recs, err := ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	r := Partition(len(recs), size)[rank]
+	return recs[r[0]:r[1]], fileSize, nil
+}
+
+// isFastaFile peeks the first record marker of a file.
+func isFastaFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		if b != '\n' && b != '\r' {
+			return b == '>', nil
+		}
+	}
 }
 
 // ReadRange parses the records fully contained in the byte range

@@ -142,6 +142,7 @@ func price(c *spmd.Comm, model *machine.Model, ops, rate, workingSet float64) fl
 type RankReport struct {
 	Rank         int
 	ReadsLocal   int
+	InputBytes   int64 // input bytes this rank's process parsed (cooperative I/O counter)
 	Bloom        dht.StageStats
 	Hash         dht.StageStats
 	Overlap      overlap.Stats
@@ -300,7 +301,8 @@ func (rep *Report) TaskImbalance() float64 {
 }
 
 // Run executes the full pipeline on one rank. All ranks call it
-// collectively; store must be identical on every rank.
+// collectively; store must describe the same global read set on every
+// rank (whole or sharded — see ExecuteComm).
 func Run(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config) (RankReport, []Alignment, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return RankReport{}, nil, err
@@ -331,8 +333,8 @@ func Run(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config)
 	}
 	if cfg.OwnerPolicy == overlap.PolicyLongerRead {
 		// In the MPI setting read lengths are allgathered once at startup
-		// (4 bytes per read); the shared store provides them directly.
-		ovCfg.ReadLen = func(id uint32) int { return len(store.Seq(id)) }
+		// (4 bytes per read); both store layouts provide them globally.
+		ovCfg.ReadLen = store.Len
 	}
 	tasks, ovStats, err := overlap.Run(c, model, part, store.Owner, ovCfg)
 	if err != nil {
@@ -347,6 +349,7 @@ func Run(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config)
 	return RankReport{
 		Rank:         c.Rank(),
 		ReadsLocal:   int(end - start),
+		InputBytes:   store.ParsedBytes,
 		Bloom:        buildStats.Bloom,
 		Hash:         buildStats.Hash,
 		Overlap:      ovStats,
@@ -362,8 +365,9 @@ func Run(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config)
 // rank returns a report with identical global counts, but alignment
 // Records are assembled on rank 0 only (the output-owning rank; skipping
 // the copy and sort elsewhere keeps the gather's cost from scaling with
-// ranks that immediately discard it). store must be identical on all
-// ranks.
+// ranks that immediately discard it). store must describe the same global
+// read set on every rank: either the identical whole store, or each
+// rank's endpoint of one cooperative sharded load (LoadStore).
 func ExecuteComm(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config) (*Report, error) {
 	if model != nil && model.Ranks() != c.Size() {
 		return nil, fmt.Errorf("pipeline: model is shaped for %d ranks, running %d", model.Ranks(), c.Size())
@@ -480,12 +484,23 @@ func Execute(p int, model *machine.Model, reads []*fastq.Record, cfg Config) (*R
 // PAFRecords converts kept alignment records into PAF lines using the
 // read names from the original record set.
 func (rep *Report) PAFRecords(reads []*fastq.Record) []paf.Record {
+	return rep.pafRecords(func(id uint32) string { return reads[id].Name })
+}
+
+// PAFRecordsFromStore converts kept alignment records into PAF lines
+// using the store's global name map — the form a sharded (cooperatively
+// loaded) rank uses, where no single slice of records exists.
+func (rep *Report) PAFRecordsFromStore(store *fastq.ReadStore) []paf.Record {
+	return rep.pafRecords(store.Name)
+}
+
+func (rep *Report) pafRecords(name func(uint32) string) []paf.Record {
 	out := make([]paf.Record, 0, len(rep.Records))
 	for _, a := range rep.Records {
 		out = append(out, paf.Record{
-			QName: reads[a.A].Name, QLen: a.ALen, QStart: a.AStart, QEnd: a.AEnd,
+			QName: name(a.A), QLen: a.ALen, QStart: a.AStart, QEnd: a.AEnd,
 			Strand: a.Strand,
-			TName:  reads[a.B].Name, TLen: a.BLen, TStart: a.BStart, TEnd: a.BEnd,
+			TName:  name(a.B), TLen: a.BLen, TStart: a.BStart, TEnd: a.BEnd,
 			Score: a.Score, NSeeds: a.SeedsConsumed,
 		})
 	}

@@ -16,60 +16,71 @@ import (
 	"dibella/internal/spmd"
 )
 
-// executeTCPLoopback runs the pipeline over a p-rank TCP world formed on
-// the loopback interface — one transport (and socket set) per rank, ranks
-// as goroutines — and returns rank 0's gathered report.
-func executeTCPLoopback(t *testing.T, p int, reads []*fastq.Record, cfg Config) (*Report, error) {
+// runTCPLoopbackWorld forms a p-rank TCP world on the loopback interface —
+// one transport (and socket set) per rank, ranks as goroutines, each
+// connected through the public Bootstrap API — and runs fn on every rank.
+func runTCPLoopbackWorld(t *testing.T, p int, fn func(c *spmd.Comm) error) error {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("rendezvous listen: %v", err)
 	}
 	rendezvous := ln.Addr().String()
-	var (
-		rep  *Report
-		mu   sync.Mutex
-		wg   sync.WaitGroup
-		errs = make([]error, p)
-	)
+	var wg sync.WaitGroup
+	errs := make([]error, p)
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			cfg0 := spmd.TCPConfig{
+			boot := &spmd.JoinBootstrap{
 				Rank: rank, Size: p, Rendezvous: rendezvous,
 				Timeout: 20 * time.Second,
 			}
 			if rank == 0 {
-				cfg0.Listener = ln
+				boot.Listener = ln
 			}
-			tr, err := spmd.DialTCP(cfg0)
+			tr, err := spmd.Connect(boot)
 			if err != nil {
 				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
 				return
 			}
-			// Each rank builds its own store, as separate worker
-			// processes would.
-			store := fastq.NewReadStore(reads, p)
-			errs[rank] = spmd.RunTransport(tr, nil, func(c *spmd.Comm) error {
-				r, err := ExecuteComm(c, nil, store, cfg)
-				if err != nil {
-					return err
-				}
-				if c.Rank() == 0 {
-					mu.Lock()
-					rep = r
-					mu.Unlock()
-				}
-				return nil
-			})
+			errs[rank] = boot.Finish(spmd.RunTransport(tr, nil, fn))
 		}(r)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// executeTCPLoopback runs the pipeline over a loopback TCP world and
+// returns rank 0's gathered report.
+func executeTCPLoopback(t *testing.T, p int, reads []*fastq.Record, cfg Config) (*Report, error) {
+	t.Helper()
+	var (
+		rep *Report
+		mu  sync.Mutex
+	)
+	err := runTCPLoopbackWorld(t, p, func(c *spmd.Comm) error {
+		// Each rank builds its own store, as separate worker processes
+		// would.
+		store := fastq.NewReadStore(reads, p)
+		r, err := ExecuteComm(c, nil, store, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			rep = r
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

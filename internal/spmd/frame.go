@@ -11,7 +11,7 @@ import (
 // frame is a fixed 31-byte header followed by the payload:
 //
 //	magic   uint16  0xD1BE ("diBElla"), catches stream desync/garbage
-//	type    uint8   frameHello | framePeers | frameColl | frameAbort
+//	type    uint8   frameHello | framePeers | frameColl | frameAbort | frameJoin | frameAssign
 //	seq     uint64  collective sequence number (frameColl only)
 //	clock   float64 sender's virtual clock contribution (IEEE-754 bits)
 //	bytes   float64 sender's total payload bytes this collective
@@ -34,6 +34,12 @@ const (
 	frameColl
 	// frameAbort poisons the receiver's world (a peer failed).
 	frameAbort
+	// frameJoin is a host agent's request to enter a host-list world: its
+	// host index (or -1) and hostname, sent to the launcher's join port.
+	frameJoin
+	// frameAssign is the launcher's join reply: the agent's contiguous
+	// rank range, the world size, and the rendezvous port.
+	frameAssign
 )
 
 const (
@@ -98,7 +104,7 @@ func readFrame(r io.Reader) (frame, error) {
 		Clock: math.Float64frombits(binary.BigEndian.Uint64(hdr[11:])),
 		Bytes: math.Float64frombits(binary.BigEndian.Uint64(hdr[19:])),
 	}
-	if f.Type < frameHello || f.Type > frameAbort {
+	if f.Type < frameHello || f.Type > frameAssign {
 		return frame{}, fmt.Errorf("spmd: unknown frame type %d", f.Type)
 	}
 	plen := binary.BigEndian.Uint32(hdr[27:])

@@ -27,8 +27,10 @@ import (
 // hears from every other rank, each computes the world maxima locally —
 // the same quantities the in-process barrier accumulates.
 
-// TCPConfig configures one rank's endpoint of a TCP world.
-type TCPConfig struct {
+// tcpConfig configures one rank's endpoint of a TCP world. It is internal:
+// callers describe the world with a Bootstrap (bootstrap.go) and obtain a
+// transport through Connect.
+type tcpConfig struct {
 	Rank int // this rank, in [0, Size)
 	Size int // world size P
 
@@ -43,7 +45,9 @@ type TCPConfig struct {
 	Listener net.Listener
 
 	// ListenAddr is where ranks > 0 bind their mesh listener
-	// (default "127.0.0.1:0").
+	// (default "127.0.0.1:0"). Multi-host worlds bind ":0"; the address
+	// advertised to peers then substitutes the host this rank reaches the
+	// rendezvous from, so the mesh address is dialable across machines.
 	ListenAddr string
 
 	// Timeout bounds world formation: dials, handshakes, and the wait
@@ -52,10 +56,32 @@ type TCPConfig struct {
 	Timeout time.Duration
 }
 
+// Wire-protocol identity carried in every hello and join message. A peer
+// whose binary speaks a different protocol (or is not dibella at all) is
+// rejected with a clear error during world formation, instead of failing
+// later with a frame-decode panic mid-collective.
+const (
+	protoMagic   = 0x44694245 // "DiBE"
+	protoVersion = 1
+)
+
+// checkProto validates a peer's protocol identity fields.
+func checkProto(magic, version uint32) error {
+	if magic != protoMagic {
+		return fmt.Errorf("spmd: peer protocol magic %#08x, want %#08x (peer is not a dibella process?)", magic, protoMagic)
+	}
+	if version != protoVersion {
+		return fmt.Errorf("spmd: peer speaks protocol version %d, this binary speaks %d (mismatched dibella binaries?)", version, protoVersion)
+	}
+	return nil
+}
+
 // helloMsg is the gob payload of a frameHello.
 type helloMsg struct {
-	Rank int
-	Addr string // mesh listen address (rendezvous connection only)
+	Magic   uint32 // protoMagic
+	Version uint32 // protoVersion
+	Rank    int
+	Addr    string // mesh listen address (rendezvous connection only)
 }
 
 // peerMsg is carried on a peer's frame channel: one decoded frame or the
@@ -98,10 +124,10 @@ type tcpTransport struct {
 	amu      sync.Mutex
 }
 
-// DialTCP forms (this rank's endpoint of) a TCP world and returns once
+// dialTCP forms (this rank's endpoint of) a TCP world and returns once
 // every pairwise connection is established, i.e. when all ranks have
 // arrived. The transport is ready for collectives on return.
-func DialTCP(cfg TCPConfig) (Transport, error) {
+func dialTCP(cfg tcpConfig) (Transport, error) {
 	if cfg.Size <= 0 {
 		return nil, fmt.Errorf("spmd: world size %d must be positive", cfg.Size)
 	}
@@ -144,7 +170,7 @@ func DialTCP(cfg TCPConfig) (Transport, error) {
 
 // formRoot runs rank 0's side of world formation: accept P-1 rendezvous
 // connections, learn every rank's mesh address, broadcast the table.
-func (t *tcpTransport) formRoot(cfg TCPConfig, deadline time.Time) error {
+func (t *tcpTransport) formRoot(cfg tcpConfig, deadline time.Time) error {
 	ln := cfg.Listener
 	if ln == nil {
 		var err error
@@ -191,7 +217,7 @@ func (t *tcpTransport) formRoot(cfg TCPConfig, deadline time.Time) error {
 
 // formLeaf runs rank i>0's side: introduce ourselves to rank 0, learn the
 // address table, dial lower ranks, accept higher ones.
-func (t *tcpTransport) formLeaf(cfg TCPConfig, deadline time.Time) error {
+func (t *tcpTransport) formLeaf(cfg tcpConfig, deadline time.Time) error {
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return fmt.Errorf("spmd: rank %d mesh listen: %w", t.rank, err)
@@ -201,9 +227,17 @@ func (t *tcpTransport) formLeaf(cfg TCPConfig, deadline time.Time) error {
 		tl.SetDeadline(deadline)
 	}
 
-	root, err := t.dialPeer(cfg.Rendezvous, helloMsg{Rank: t.rank, Addr: ln.Addr().String()}, deadline)
+	root, err := (&net.Dialer{Deadline: deadline}).Dial("tcp", cfg.Rendezvous)
 	if err != nil {
 		return fmt.Errorf("spmd: rank %d dialing rendezvous %s: %w", t.rank, cfg.Rendezvous, err)
+	}
+	// Advertise the mesh listener under the interface this rank reaches
+	// the rendezvous from: a ":0"-style bind has no routable host of its
+	// own, and the rendezvous path is the one route peers are known to
+	// share with us.
+	if err := sendHello(root, hello(t.rank, advertiseAddr(ln.Addr(), root.LocalAddr())), deadline); err != nil {
+		root.Close()
+		return fmt.Errorf("spmd: rank %d introducing itself to rendezvous %s: %w", t.rank, cfg.Rendezvous, err)
 	}
 	if err := t.admit(0, root); err != nil {
 		root.Close()
@@ -229,7 +263,7 @@ func (t *tcpTransport) formLeaf(cfg TCPConfig, deadline time.Time) error {
 	}
 
 	for r := 1; r < t.rank; r++ {
-		conn, err := t.dialPeer(addrs[r], helloMsg{Rank: t.rank}, deadline)
+		conn, err := t.dialPeer(addrs[r], hello(t.rank, ""), deadline)
 		if err != nil {
 			return fmt.Errorf("spmd: rank %d dialing rank %d at %s: %w", t.rank, r, addrs[r], err)
 		}
@@ -260,26 +294,57 @@ func (t *tcpTransport) formLeaf(cfg TCPConfig, deadline time.Time) error {
 	return nil
 }
 
+// hello builds this binary's hello for one connection.
+func hello(rank int, addr string) helloMsg {
+	return helloMsg{Magic: protoMagic, Version: protoVersion, Rank: rank, Addr: addr}
+}
+
+// sendHello writes one hello frame on a freshly dialed connection.
+func sendHello(conn net.Conn, h helloMsg, deadline time.Time) error {
+	payload, err := encodeGob(h)
+	if err != nil {
+		return err
+	}
+	conn.SetWriteDeadline(deadline)
+	if err := writeFrame(conn, &frame{Type: frameHello, Payload: payload}); err != nil {
+		return fmt.Errorf("spmd: sending hello: %w", err)
+	}
+	return nil
+}
+
+// advertiseAddr returns the mesh address to announce to peers: the bound
+// listener address, with an unspecified host (a ":0"-style bind) replaced
+// by the interface this rank reaches the rendezvous from — the one address
+// peers are known to share a route with.
+func advertiseAddr(ln, local net.Addr) string {
+	host, port, err := net.SplitHostPort(ln.String())
+	if err != nil {
+		return ln.String()
+	}
+	if ip := net.ParseIP(host); host != "" && (ip == nil || !ip.IsUnspecified()) {
+		return ln.String()
+	}
+	if ta, ok := local.(*net.TCPAddr); ok {
+		return net.JoinHostPort(ta.IP.String(), port)
+	}
+	return ln.String()
+}
+
 // dialPeer connects to addr and sends our hello.
-func (t *tcpTransport) dialPeer(addr string, hello helloMsg, deadline time.Time) (net.Conn, error) {
+func (t *tcpTransport) dialPeer(addr string, h helloMsg, deadline time.Time) (net.Conn, error) {
 	conn, err := (&net.Dialer{Deadline: deadline}).Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	payload, err := encodeGob(hello)
-	if err != nil {
+	if err := sendHello(conn, h, deadline); err != nil {
 		conn.Close()
 		return nil, err
-	}
-	conn.SetWriteDeadline(deadline)
-	if err := writeFrame(conn, &frame{Type: frameHello, Payload: payload}); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("spmd: sending hello: %w", err)
 	}
 	return conn, nil
 }
 
-// handshake reads and validates the dialer's hello.
+// handshake reads and validates the dialer's hello, rejecting peers that
+// speak a different protocol (mismatched binaries) with a clear error.
 func (t *tcpTransport) handshake(conn net.Conn, deadline time.Time) (helloMsg, error) {
 	conn.SetReadDeadline(deadline)
 	f, err := readFrame(conn)
@@ -289,14 +354,17 @@ func (t *tcpTransport) handshake(conn net.Conn, deadline time.Time) (helloMsg, e
 	if f.Type != frameHello {
 		return helloMsg{}, fmt.Errorf("spmd: rank %d expected hello, got frame type %d", t.rank, f.Type)
 	}
-	var hello helloMsg
-	if err := decodeGob(f.Payload, &hello); err != nil {
+	var h helloMsg
+	if err := decodeGob(f.Payload, &h); err != nil {
 		return helloMsg{}, fmt.Errorf("spmd: rank %d decoding hello: %w", t.rank, err)
 	}
-	if hello.Rank < 0 || hello.Rank >= t.size {
-		return helloMsg{}, fmt.Errorf("spmd: hello from out-of-range rank %d", hello.Rank)
+	if err := checkProto(h.Magic, h.Version); err != nil {
+		return helloMsg{}, err
 	}
-	return hello, nil
+	if h.Rank < 0 || h.Rank >= t.size {
+		return helloMsg{}, fmt.Errorf("spmd: hello from out-of-range rank %d", h.Rank)
+	}
+	return h, nil
 }
 
 // admit installs a newly established connection as the peer edge for rank r.

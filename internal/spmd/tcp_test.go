@@ -29,14 +29,14 @@ func runTCPWorld(t *testing.T, p int, model CommModel, fn func(*Comm) error) err
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			cfg := TCPConfig{
+			cfg := tcpConfig{
 				Rank: rank, Size: p, Rendezvous: rendezvous,
 				Timeout: 20 * time.Second,
 			}
 			if rank == 0 {
 				cfg.Listener = ln
 			}
-			tr, err := DialTCP(cfg)
+			tr, err := dialTCP(cfg)
 			if err != nil {
 				errs[rank] = fmt.Errorf("rank %d: DialTCP: %w", rank, err)
 				return
@@ -290,11 +290,11 @@ func TestTCPAbortedCollectiveReturnsErrAborted(t *testing.T) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			cfg := TCPConfig{Rank: rank, Size: 2, Rendezvous: ln.Addr().String()}
+			cfg := tcpConfig{Rank: rank, Size: 2, Rendezvous: ln.Addr().String()}
 			if rank == 0 {
 				cfg.Listener = ln
 			}
-			tr, err := DialTCP(cfg)
+			tr, err := dialTCP(cfg)
 			if err != nil {
 				t.Errorf("rank %d: %v", rank, err)
 				return
@@ -337,10 +337,10 @@ func TestTCPRejectsPointerElementTypes(t *testing.T) {
 }
 
 func TestDialTCPValidation(t *testing.T) {
-	if _, err := DialTCP(TCPConfig{Rank: 0, Size: 0}); err == nil {
+	if _, err := dialTCP(tcpConfig{Rank: 0, Size: 0}); err == nil {
 		t.Error("size 0 accepted")
 	}
-	if _, err := DialTCP(TCPConfig{Rank: 3, Size: 2, Rendezvous: "127.0.0.1:1"}); err == nil {
+	if _, err := dialTCP(tcpConfig{Rank: 3, Size: 2, Rendezvous: "127.0.0.1:1"}); err == nil {
 		t.Error("out-of-range rank accepted")
 	}
 }
@@ -351,7 +351,7 @@ func TestDialTCPTimesOutWithoutPeers(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	_, err = DialTCP(TCPConfig{
+	_, err = dialTCP(tcpConfig{
 		Rank: 0, Size: 2, Listener: ln,
 		Timeout: 200 * time.Millisecond,
 	})

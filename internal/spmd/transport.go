@@ -8,7 +8,8 @@ package spmd
 //   - the in-process transport (goroutine ranks over a shared exchange
 //     matrix; the default, created by Run/RunWithModel), and
 //   - the TCP transport (one OS process per rank, length-prefixed frames
-//     over per-peer persistent connections; created by DialTCP).
+//     over per-peer persistent connections; created by Connect from a
+//     Bootstrap describing the world, see bootstrap.go).
 //
 // Every collective doubles as the BSP synchronization point, so alongside
 // the payload each method carries this rank's virtual clock and returns the
