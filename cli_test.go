@@ -60,6 +60,9 @@ func TestCLIPipelineRoundTrip(t *testing.T) {
 	if !strings.Contains(string(out), "alignments=") {
 		t.Errorf("missing summary in output:\n%s", out)
 	}
+	if !strings.Contains(string(out), "sched=streamed") {
+		t.Errorf("default run is not the streamed schedule:\n%s", out)
+	}
 	if !strings.Contains(string(out), "Alignment") {
 		t.Errorf("missing breakdown in output:\n%s", out)
 	}
@@ -263,5 +266,51 @@ func TestCLIBenchList(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "Cori") {
 		t.Errorf("table1 output:\n%s", out)
+	}
+}
+
+// TestCLIFlagValidation: nonsense numeric flags must be rejected at
+// startup with a clear usage error (exit 2), not surface later as opaque
+// panics or formation hangs. Unlike the other CLI smoke tests this one
+// runs in -short mode too (and hence in CI): each case exits during flag
+// validation, so the only real cost is one cached binary build.
+func TestCLIFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	dibella := buildTool(t, dir, "./cmd/dibella")
+	reads := filepath.Join(dir, "reads.fastq")
+	if err := os.WriteFile(reads, []byte("@r0\nACGTACGTACGT\n+\nIIIIIIIIIIII\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-p", "0"}, "-p must be"},
+		{[]string{"-p", "-3"}, "-p must be"},
+		{[]string{"-k", "-1"}, "-k must be"},
+		{[]string{"-k", "99"}, "-k must be"},
+		{[]string{"-xdrop", "-7"}, "-xdrop must be"},
+		{[]string{"-min-dist", "0"}, "-min-dist must be"},
+		{[]string{"-m", "-2"}, "-m must be"},
+		{[]string{"-error-rate", "1.5"}, "-error-rate must be"},
+		{[]string{"-coverage", "0"}, "-coverage must be"},
+		{[]string{"-genome", "-1"}, "-genome must be"},
+		{[]string{"-nodes", "0"}, "-nodes must be"},
+		{[]string{"-reply-chunk", "-1"}, "-reply-chunk must be"},
+		{[]string{"-reply-depth", "0"}, "-reply-depth must be"},
+		{[]string{"-reply-depth", "64"}, "-reply-depth must be"},
+		{[]string{"-async-exchange=false", "-reply-chunk", "4096"}, "-reply-chunk streams"},
+	}
+	for _, tc := range cases {
+		args := append([]string{"-in", reads}, tc.args...)
+		out, err := exec.Command(dibella, args...).CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("%v: want usage exit 2, got err=%v\n%s", tc.args, err, out)
+			continue
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("%v: output missing %q:\n%s", tc.args, tc.want, out)
+		}
 	}
 }

@@ -1,0 +1,192 @@
+// Command benchcheck is the CI bench-regression gate: it compares a fresh
+// dibella-bench snapshot against the latest committed BENCH_PR*.json and
+// fails (exit 1) if any schedule's modeled virtual_seconds regressed by
+// more than the tolerance. The modeled times are machine-independent, so
+// a fresh CI run of unchanged code reproduces the committed numbers
+// exactly; a drift beyond tolerance means a code change slowed a modeled
+// hot path.
+//
+// Usage:
+//
+//	benchcheck -fresh BENCH_CI.json              # auto-discover the committed baseline
+//	benchcheck -prev BENCH_PR4.json -fresh BENCH_CI.json
+//
+// Schedules are matched by name (sync / async / streamed / ...): only
+// those present in both snapshots are compared, so snapshots may gain
+// schedules across PRs without breaking older baselines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+func main() {
+	var (
+		prev      = flag.String("prev", "", "committed baseline snapshot (default: highest-numbered BENCH_PR*.json in -dir)")
+		fresh     = flag.String("fresh", "", "freshly generated snapshot (required)")
+		dir       = flag.String("dir", ".", "directory to search for the committed baseline")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional virtual_seconds regression")
+	)
+	flag.Parse()
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -fresh is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	prevPath := *prev
+	if prevPath == "" {
+		p, err := latestSnapshot(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		prevPath = p
+	}
+	prevSnap, err := loadSnapshot(prevPath)
+	if err != nil {
+		fatal(err)
+	}
+	freshSnap, err := loadSnapshot(*fresh)
+	if err != nil {
+		fatal(err)
+	}
+	// Modeled times are only comparable on the same modeled job: a scale
+	// or shape change must come with a regenerated committed baseline,
+	// not slip through as a speedup or a spurious regression.
+	if err := prevSnap.comparable(freshSnap); err != nil {
+		fatal(fmt.Errorf("%s vs %s: %w (regenerate the committed baseline alongside the workload change)",
+			prevPath, *fresh, err))
+	}
+	prevRuns, freshRuns := prevSnap.runs, freshSnap.runs
+
+	names := make([]string, 0, len(prevRuns))
+	for name := range prevRuns {
+		if _, ok := freshRuns[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no common schedules between %s and %s", prevPath, *fresh))
+	}
+	sort.Strings(names)
+
+	failed := false
+	fmt.Printf("bench regression check: %s (baseline) vs %s (fresh), tolerance %.0f%%\n",
+		prevPath, *fresh, *tolerance*100)
+	for _, name := range names {
+		p, f := prevRuns[name], freshRuns[name]
+		delta := (f - p) / p
+		status := "ok"
+		if delta > *tolerance {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("  %-10s virtual_seconds %.6f -> %.6f (%+.1f%%) %s\n",
+			name, p, f, delta*100, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// snapshot is the comparable content of one bench JSON: the workload
+// identity plus every schedule's virtual_seconds.
+type snapshot struct {
+	Workload string `json:"workload"`
+	Platform string `json:"platform"`
+	Nodes    int    `json:"nodes"`
+	SimRanks int    `json:"sim_ranks"`
+	runs     map[string]float64
+}
+
+// comparable reports whether two snapshots priced the same modeled job.
+func (s *snapshot) comparable(o *snapshot) error {
+	switch {
+	case s.Workload != o.Workload:
+		return fmt.Errorf("workloads differ: %q vs %q", s.Workload, o.Workload)
+	case s.Platform != o.Platform:
+		return fmt.Errorf("platforms differ: %q vs %q", s.Platform, o.Platform)
+	case s.Nodes != o.Nodes:
+		return fmt.Errorf("modeled node counts differ: %d vs %d", s.Nodes, o.Nodes)
+	case s.SimRanks != o.SimRanks:
+		return fmt.Errorf("sim rank counts differ: %d vs %d", s.SimRanks, o.SimRanks)
+	}
+	return nil
+}
+
+// loadSnapshot extracts the workload identity and every schedule's
+// virtual_seconds from a snapshot. The run decoding is schema-tolerant:
+// any top-level object carrying a numeric "virtual_seconds" counts as a
+// schedule, so older snapshots (sync/async only) and newer ones (plus
+// streamed) compare on their intersection.
+func loadSnapshot(path string) (*snapshot, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &top); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	s.runs = make(map[string]float64)
+	for name, raw := range top {
+		var run struct {
+			VirtualSeconds *float64 `json:"virtual_seconds"`
+		}
+		if err := json.Unmarshal(raw, &run); err != nil || run.VirtualSeconds == nil {
+			continue // not a schedule object
+		}
+		if *run.VirtualSeconds <= 0 {
+			return nil, fmt.Errorf("%s: schedule %q has non-positive virtual_seconds %v",
+				path, name, *run.VirtualSeconds)
+		}
+		s.runs[name] = *run.VirtualSeconds
+	}
+	if len(s.runs) == 0 {
+		return nil, fmt.Errorf("%s: no schedule runs with virtual_seconds found", path)
+	}
+	return &s, nil
+}
+
+var snapshotRe = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// latestSnapshot returns the highest-numbered committed BENCH_PR*.json.
+func latestSnapshot(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := snapshotRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			bestN, best = n, filepath.Join(dir, e.Name())
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_PR*.json snapshot in %s", dir)
+	}
+	return best, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

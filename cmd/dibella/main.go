@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"dibella/internal/fastq"
+	"dibella/internal/kmer"
 	"dibella/internal/machine"
 	"dibella/internal/overlap"
 	"dibella/internal/paf"
@@ -69,6 +70,9 @@ func main() {
 		asyncEx  = flag.Bool("async-exchange", true, "overlap exchanges with computation via non-blocking collectives (same output; disable for the paper's bulk-synchronous schedule)")
 		allSeeds = flag.Bool("keep-all-seed-alignments", false, "emit one PAF row per explored seed instead of the best per (pair, strand)")
 
+		replyChunk = flag.Int("reply-chunk", spmd.DefaultChunkBytes, "stream the alignment stage's read-reply exchange in per-peer chunks of this many bytes, aligning tasks as their sequences land (0: whole-payload reply; same output; requires -async-exchange)")
+		replyDepth = flag.Int("reply-depth", spmd.DefaultStreamDepth, fmt.Sprintf("streamed reply chunk exchanges kept in flight, 1..%d (with -reply-chunk)", spmd.MaxStreamDepth))
+
 		transport   = flag.String("transport", "mem", "spmd backend: mem (goroutine ranks) | tcp (one OS process per rank)")
 		hosts       = flag.String("hosts", "", "comma-separated host[:ranks] list for a multi-host TCP world (first entry is this machine; loopback entries are simulated locally)")
 		hostfile    = flag.String("hostfile", "", "file with one host[:ranks] per line (alternative to -hosts)")
@@ -96,9 +100,36 @@ func main() {
 	}
 
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "dibella: -in is required")
-		flag.Usage()
-		os.Exit(2)
+		usageError("-in is required")
+	}
+	// Numeric flags are validated up front: a nonsense value otherwise
+	// surfaces much later as an opaque panic (k=0 entering the k-mer
+	// packer, p=0 dividing the read distribution) or a formation hang.
+	switch {
+	case *p < 1:
+		usageError("-p must be at least 1 rank, got %d", *p)
+	case *k < 0 || *k > kmer.MaxK:
+		usageError("-k must be in [1,%d] (or 0 to derive it), got %d", kmer.MaxK, *k)
+	case *maxFreq < 0:
+		usageError("-m must be non-negative (0 derives it), got %d", *maxFreq)
+	case *minDist < 1:
+		usageError("-min-dist must be at least 1, got %d", *minDist)
+	case *xdrop < 0:
+		usageError("-xdrop must be non-negative, got %d", *xdrop)
+	case *errRate < 0 || *errRate >= 1:
+		usageError("-error-rate must be in [0,1), got %g", *errRate)
+	case *coverage <= 0:
+		usageError("-coverage must be positive, got %g", *coverage)
+	case *genome <= 0:
+		usageError("-genome must be positive, got %g", *genome)
+	case *nodes < 1:
+		usageError("-nodes must be at least 1, got %d", *nodes)
+	case *replyChunk < 0:
+		usageError("-reply-chunk must be non-negative (0 disables streaming), got %d", *replyChunk)
+	case *replyDepth < 1 || *replyDepth > spmd.MaxStreamDepth:
+		usageError("-reply-depth must be in [1,%d], got %d", spmd.MaxStreamDepth, *replyDepth)
+	case *formTimeout <= 0:
+		usageError("-form-timeout must be positive, got %v", *formTimeout)
 	}
 	if *transport != "mem" && *transport != "tcp" {
 		fatal(fmt.Errorf("unknown -transport %q (want mem or tcp)", *transport))
@@ -106,13 +137,15 @@ func main() {
 	if *hosts != "" && *hostfile != "" {
 		fatal(fmt.Errorf("-hosts and -hostfile are mutually exclusive"))
 	}
-	transportSet, pSet := false, false
+	transportSet, pSet, replyChunkSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "transport":
 			transportSet = true
 		case "p":
 			pSet = true
+		case "reply-chunk":
+			replyChunkSet = true
 		}
 	})
 	// Multi-host modes and env-placed workers are TCP by construction.
@@ -160,8 +193,21 @@ func main() {
 		UseHLL: *useHLL, KeepAlignments: true,
 		KeepAllSeedAlignments: *allSeeds,
 	}
-	if !*asyncEx {
+	// Schedule selection: bulk-synchronous when -async-exchange=false,
+	// streamed reply (the default) when -reply-chunk > 0, plain async
+	// otherwise. Output is byte-identical across all three.
+	switch {
+	case !*asyncEx:
+		if replyChunkSet && *replyChunk > 0 {
+			usageError("-reply-chunk streams over non-blocking exchanges; drop it or re-enable -async-exchange")
+		}
 		cfg.Exchange = pipeline.ExchangeSync
+	case *replyChunk > 0:
+		cfg.Exchange = pipeline.ExchangeStreamed
+		cfg.ReplyChunk = *replyChunk
+		cfg.ReplyDepth = *replyDepth
+	default:
+		cfg.Exchange = pipeline.ExchangeAsync
 	}
 	switch *seedMode {
 	case "one":
@@ -316,15 +362,20 @@ func writeOutput(rep *pipeline.Report, recs []paf.Record, outPath string, breakd
 }
 
 func printBreakdown(rep *pipeline.Report) {
-	headers := []string{"stage", "wall", "modeled s", "exchange s", "overlapped s"}
+	headers := []string{"stage", "wall", "modeled s", "exchange s", "overlapped s", "hidden"}
 	var rows [][]string
 	for _, s := range pipeline.Stages {
+		hidden := "-"
+		if ex := rep.StageExchangeVirtual(s); ex > 0 {
+			hidden = fmt.Sprintf("%.0f%%", rep.StageOverlapVirtual(s)/ex*100)
+		}
 		rows = append(rows, []string{
 			string(s),
 			rep.StageWall(s).String(),
 			fmt.Sprintf("%.4f", rep.StageVirtual(s)),
 			fmt.Sprintf("%.4f", rep.StageExchangeVirtual(s)),
 			fmt.Sprintf("%.4f", rep.StageOverlapVirtual(s)),
+			hidden,
 		})
 	}
 	fmt.Fprint(os.Stderr, stats.FormatTable(headers, rows))
@@ -336,4 +387,12 @@ func printBreakdown(rep *pipeline.Report) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dibella:", err)
 	os.Exit(1)
+}
+
+// usageError rejects bad flag values at startup with the message plus the
+// flag reference, exiting with the conventional usage status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dibella: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
 }

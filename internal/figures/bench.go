@@ -1,15 +1,30 @@
 package figures
 
-// The perf-trajectory benchmark: a small fixed workload run under both
+// The perf-trajectory benchmark: a small fixed workload run under the
 // exchange schedules, distilled into a machine-readable snapshot that CI
-// uploads (BENCH_PR2.json). Successive PRs append comparable files, so
-// the repo accumulates a history of how the hot paths move.
+// uploads (BENCH_PR2.json onward). Successive PRs append comparable
+// files, so the repo accumulates a history of how the hot paths move;
+// cmd/benchcheck compares a fresh run against the latest committed
+// snapshot and fails CI on a modeled regression.
 
 import (
 	"fmt"
 
 	"dibella/internal/machine"
 	"dibella/internal/pipeline"
+	"dibella/internal/spmd"
+)
+
+// benchReplyChunk / benchReplyDepth fix the streamed schedule's shape on
+// the bench workload: at scale 0.02 each rank's per-peer reply payload is
+// a few KB, so 8 KB chunks give the stream several rounds to hide while
+// staying clear of the latency-degenerate regime.
+const (
+	benchReplyChunk = 8 << 10
+	benchReplyDepth = 4
+	// benchSweepChunk is the chunk size of the depth sweep: small enough
+	// that every depth in the sweep has rounds left to keep in flight.
+	benchSweepChunk = 2 << 10
 )
 
 // BenchRun is one schedule's numbers on the bench workload.
@@ -19,28 +34,44 @@ type BenchRun struct {
 	BloomHashVirtual     float64 `json:"bloom_hash_virtual_seconds"`
 	ExchangeVirtual      float64 `json:"exchange_virtual_seconds"`
 	OverlapFraction      float64 `json:"overlap_fraction"`
+	AlignOverlapFraction float64 `json:"align_overlap_fraction"`
 	Alignments           int64   `json:"alignments"`
 	AlignmentsPerVirtual float64 `json:"alignments_per_virtual_second"`
 }
 
-// BenchResult is the full snapshot: the same workload under the
-// bulk-synchronous and the non-blocking round-pipelined schedules,
-// modeled as a Cori job.
-type BenchResult struct {
-	Workload     string   `json:"workload"`
-	Platform     string   `json:"platform"`
-	Nodes        int      `json:"nodes"`
-	SimRanks     int      `json:"sim_ranks"`
-	Reads        int      `json:"reads"`
-	Sync         BenchRun `json:"sync"`
-	Async        BenchRun `json:"async"`
-	SpeedupModel float64  `json:"modeled_speedup_async_over_sync"`
+// DepthPoint is one entry of the streamed depth sweep: the same workload
+// and chunk size with a different number of reply chunk rounds in flight.
+type DepthPoint struct {
+	Depth                int     `json:"depth"`
+	VirtualSeconds       float64 `json:"virtual_seconds"`
+	AlignOverlapFraction float64 `json:"align_overlap_fraction"`
 }
 
-// ExchangeBench runs the sync-vs-async exchange comparison on the E. coli
-// 30x one-seed workload at the harness scale, modeled as an 8-node Cori
-// job. Both runs execute the identical dataset; only the exchange
-// schedule differs.
+// BenchResult is the full snapshot: the same workload under the
+// bulk-synchronous, the non-blocking round-pipelined, and the streamed
+// chunked-reply schedules, modeled as a Cori job, plus a pipelining-depth
+// sweep of the streamed reply (the ROADMAP's depth>2 question).
+type BenchResult struct {
+	Workload        string       `json:"workload"`
+	Platform        string       `json:"platform"`
+	Nodes           int          `json:"nodes"`
+	SimRanks        int          `json:"sim_ranks"`
+	Reads           int          `json:"reads"`
+	ReplyChunkBytes int          `json:"reply_chunk_bytes"`
+	ReplyDepth      int          `json:"reply_depth"`
+	Sync            BenchRun     `json:"sync"`
+	Async           BenchRun     `json:"async"`
+	Streamed        BenchRun     `json:"streamed"`
+	SpeedupModel    float64      `json:"modeled_speedup_async_over_sync"`
+	SpeedupStreamed float64      `json:"modeled_speedup_streamed_over_sync"`
+	SweepChunkBytes int          `json:"sweep_chunk_bytes"`
+	DepthSweep      []DepthPoint `json:"streamed_depth_sweep"`
+}
+
+// ExchangeBench runs the schedule comparison on the E. coli 30x one-seed
+// workload at the harness scale, modeled as an 8-node Cori job. All runs
+// execute the identical dataset; only the exchange schedule (and, in the
+// depth sweep, the streamed pipelining depth) differs.
 func ExchangeBench(o *Options) (*BenchResult, error) {
 	o.setDefaults()
 	reads, err := o.Reads30x()
@@ -49,13 +80,14 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 	}
 	const nodes = 8
 	p := o.simRanks(nodes)
-	run := func(mode pipeline.ExchangeMode) (BenchRun, error) {
+	run := func(mode pipeline.ExchangeMode, chunk, depth int) (BenchRun, error) {
 		mdl, err := machine.NewModelScaled(machine.Cori, nodes, p)
 		if err != nil {
 			return BenchRun{}, err
 		}
 		cfg := oneSeedConfig()
 		cfg.Exchange = mode
+		cfg.ReplyChunk, cfg.ReplyDepth = chunk, depth
 		// Several exchange rounds per pass, so the round pipeline has
 		// in-flight exchanges to hide (one monolithic round would leave
 		// the Bloom/hash passes nothing to overlap).
@@ -64,7 +96,7 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 		if err != nil {
 			return BenchRun{}, err
 		}
-		o.logf("bench exchange=%v: %s", mode, rep.Summary())
+		o.logf("bench exchange=%v chunk=%d depth=%d: %s", mode, chunk, depth, rep.Summary())
 		bh := rep.StageVirtual(pipeline.StageBloom) + rep.StageVirtual(pipeline.StageHash)
 		br := BenchRun{
 			WallSeconds:      rep.WallTime.Seconds(),
@@ -74,27 +106,50 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 			OverlapFraction:  rep.OverlapFraction(),
 			Alignments:       rep.Alignments,
 		}
+		if ex := rep.StageExchangeVirtual(pipeline.StageAlign); ex > 0 {
+			br.AlignOverlapFraction = rep.StageOverlapVirtual(pipeline.StageAlign) / ex
+		}
 		if br.VirtualSeconds > 0 {
 			br.AlignmentsPerVirtual = float64(rep.Alignments) / br.VirtualSeconds
 		}
 		return br, nil
 	}
-	syncRun, err := run(pipeline.ExchangeSync)
+	syncRun, err := run(pipeline.ExchangeSync, 0, 0)
 	if err != nil {
 		return nil, fmt.Errorf("figures: sync bench: %w", err)
 	}
-	asyncRun, err := run(pipeline.ExchangeAsync)
+	asyncRun, err := run(pipeline.ExchangeAsync, 0, 0)
 	if err != nil {
 		return nil, fmt.Errorf("figures: async bench: %w", err)
+	}
+	streamRun, err := run(pipeline.ExchangeStreamed, benchReplyChunk, benchReplyDepth)
+	if err != nil {
+		return nil, fmt.Errorf("figures: streamed bench: %w", err)
 	}
 	res := &BenchResult{
 		Workload: fmt.Sprintf("E. coli 30x one-seed, scale %g, seed %d", o.Scale, o.Seed),
 		Platform: machine.Cori.Name, Nodes: nodes, SimRanks: p,
-		Reads: len(reads),
-		Sync:  syncRun, Async: asyncRun,
+		Reads:           len(reads),
+		ReplyChunkBytes: benchReplyChunk, ReplyDepth: benchReplyDepth,
+		Sync: syncRun, Async: asyncRun, Streamed: streamRun,
+		SweepChunkBytes: benchSweepChunk,
 	}
 	if asyncRun.VirtualSeconds > 0 {
 		res.SpeedupModel = syncRun.VirtualSeconds / asyncRun.VirtualSeconds
+	}
+	if streamRun.VirtualSeconds > 0 {
+		res.SpeedupStreamed = syncRun.VirtualSeconds / streamRun.VirtualSeconds
+	}
+	for _, depth := range []int{1, 2, 4, spmd.MaxStreamDepth} {
+		dr, err := run(pipeline.ExchangeStreamed, benchSweepChunk, depth)
+		if err != nil {
+			return nil, fmt.Errorf("figures: streamed depth-%d bench: %w", depth, err)
+		}
+		res.DepthSweep = append(res.DepthSweep, DepthPoint{
+			Depth:                depth,
+			VirtualSeconds:       dr.VirtualSeconds,
+			AlignOverlapFraction: dr.AlignOverlapFraction,
+		})
 	}
 	return res, nil
 }

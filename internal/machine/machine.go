@@ -224,32 +224,43 @@ func (m *Model) groupSize() float64 {
 	return float64(m.RealRanks()) / float64(m.SimRanks)
 }
 
+// peerLatency returns the per-peer software overhead one modeled rank pays
+// across all its peers in one irregular all-to-all.
+func (m *Model) peerLatency() float64 {
+	rpn := m.RanksPerNode
+	p := m.RealRanks()
+	return float64(rpn-1)*m.Plat.IntraPeerOverhead + float64(p-rpn)*m.Plat.PeerOverhead
+}
+
+// wireTime returns the bandwidth term of moving maxSendBytes (counted on
+// one simulation rank) through one irregular all-to-all.
+func (m *Model) wireTime(maxSendBytes float64) float64 {
+	maxSendBytes /= m.groupSize()
+	p := m.RealRanks()
+	rpn := m.RanksPerNode
+	if p <= 1 {
+		return 0
+	}
+	onPeers := float64(rpn - 1)
+	offPeers := float64(p - rpn)
+	intraBytes := maxSendBytes * onPeers / float64(p)
+	interBytes := maxSendBytes * offPeers / float64(p)
+	// Intra-node copies share the node's memory-side bandwidth across
+	// the ranks of the node; off-node traffic shares the injection
+	// bandwidth the same way, additionally capped by what one rank's
+	// MPI stack can push.
+	offBW := m.Plat.BWNode / float64(rpn)
+	if m.Plat.BWRankCap > 0 && offBW > m.Plat.BWRankCap {
+		offBW = m.Plat.BWRankCap
+	}
+	return intraBytes/(m.Plat.BWIntra/float64(rpn)) + interBytes/offBW
+}
+
 // AlltoallvTime implements spmd.CommModel. maxSendBytes is the total
 // payload the busiest *simulation* rank contributes to one exchange; it is
 // first converted to per-modeled-rank bytes.
 func (m *Model) AlltoallvTime(callIdx int64, maxSendBytes float64) float64 {
-	maxSendBytes /= m.groupSize()
-	p := m.RealRanks()
-	rpn := m.RanksPerNode
-	onPeers := float64(rpn - 1)
-	offPeers := float64(p - rpn)
-	lat := onPeers*m.Plat.IntraPeerOverhead + offPeers*m.Plat.PeerOverhead
-
-	var bw float64
-	if p > 1 {
-		intraBytes := maxSendBytes * onPeers / float64(p)
-		interBytes := maxSendBytes * offPeers / float64(p)
-		// Intra-node copies share the node's memory-side bandwidth across
-		// the ranks of the node; off-node traffic shares the injection
-		// bandwidth the same way, additionally capped by what one rank's
-		// MPI stack can push.
-		offBW := m.Plat.BWNode / float64(rpn)
-		if m.Plat.BWRankCap > 0 && offBW > m.Plat.BWRankCap {
-			offBW = m.Plat.BWRankCap
-		}
-		bw = intraBytes/(m.Plat.BWIntra/float64(rpn)) + interBytes/offBW
-	}
-	t := lat + bw
+	t := m.peerLatency() + m.wireTime(maxSendBytes)
 	if callIdx == 0 {
 		t *= m.Plat.FirstCallFactor
 	}
@@ -270,10 +281,39 @@ const iPostFraction = 0.2
 // overlapped exchange would look entirely free whenever local work covers
 // it, which no real MPI_Ialltoallv achieves.
 func (m *Model) IPostTime() float64 {
-	rpn := m.RanksPerNode
-	p := m.RealRanks()
-	lat := float64(rpn-1)*m.Plat.IntraPeerOverhead + float64(p-rpn)*m.Plat.PeerOverhead
-	return lat * iPostFraction
+	return m.peerLatency() * iPostFraction
+}
+
+// streamChunkFraction is the share of the full per-peer software overhead
+// one chunk round of an already-posted streamed exchange pays: the first
+// round sets up descriptors and per-peer state, and successive chunks
+// reuse them, leaving progression and completion-queue handling. It is
+// what makes chunking a real trade-off in the model — halving the chunk
+// size doubles how often this overhead is paid while the wire term stays
+// fixed, so an over-fine stream prices itself out of its own overlap win.
+const streamChunkFraction = 0.15
+
+// StreamChunkTime implements the spmd stream-model extension: one chunk
+// round of a streamed (chunked) irregular all-to-all in which the busiest
+// rank contributes maxChunkBytes. The sum over a stream's rounds
+// approaches AlltoallvTime of the whole payload as chunks grow, and
+// degenerates to latency-bound as they shrink. The first-exchange factor
+// applies exactly as for a regular exchange (MPI's internal setup does not
+// care how the first payload is sliced).
+func (m *Model) StreamChunkTime(callIdx int64, maxChunkBytes float64) float64 {
+	t := m.peerLatency()*streamChunkFraction + m.wireTime(maxChunkBytes)
+	if callIdx == 0 {
+		t *= m.Plat.FirstCallFactor
+	}
+	return t
+}
+
+// ChunkPostTime implements the spmd stream-model extension: the CPU-side
+// cost of posting one chunk round, the per-chunk analogue of IPostTime.
+// Streaming is therefore never modeled as free — every extra round costs
+// the posting rank real (unhideable) clock time.
+func (m *Model) ChunkPostTime() float64 {
+	return m.peerLatency() * streamChunkFraction * iPostFraction
 }
 
 // CollectiveTime implements spmd.CommModel: a latency-bound tree

@@ -249,3 +249,43 @@ func TestExchangeLatencyDominanceAtScale(t *testing.T) {
 		t.Errorf("latency-bound scaling ratio %.2f, want ~2", ratio)
 	}
 }
+
+func TestStreamChunkPricing(t *testing.T) {
+	m := mustModel(t, Cori, 8, 32)
+	const bytes = 256 << 10
+	full := m.AlltoallvTime(3, bytes)
+	chunk := m.StreamChunkTime(3, bytes)
+	// One chunk round carries the same wire cost but only a fraction of
+	// the per-peer software overhead, so it must be strictly cheaper than
+	// a full exchange of the same bytes...
+	if chunk >= full {
+		t.Errorf("chunk round %v not cheaper than full exchange %v", chunk, full)
+	}
+	// ...while never being free: even an empty chunk pays its overhead.
+	if m.StreamChunkTime(3, 0) <= 0 {
+		t.Error("empty chunk round modeled as free")
+	}
+	// Splitting a payload into N chunks keeps the wire term and multiplies
+	// the per-chunk overhead, so the chunked sum exceeds one full exchange
+	// once N is large — the pipelining trade-off the chunk knob explores.
+	const n = 64
+	sum := float64(n) * m.StreamChunkTime(3, bytes/n)
+	if sum <= full {
+		t.Errorf("%d-way chunked sum %v does not exceed full exchange %v", n, sum, full)
+	}
+	// The first-exchange setup factor applies to chunk rounds as well.
+	if first, later := m.StreamChunkTime(0, bytes), m.StreamChunkTime(3, bytes); first <= later {
+		t.Errorf("first chunk round %v not dearer than later %v", first, later)
+	}
+}
+
+func TestChunkPostTime(t *testing.T) {
+	m := mustModel(t, Cori, 8, 32)
+	cp := m.ChunkPostTime()
+	if cp <= 0 {
+		t.Error("chunk posting modeled as free")
+	}
+	if ip := m.IPostTime(); cp >= ip {
+		t.Errorf("chunk post %v not cheaper than full non-blocking post %v", cp, ip)
+	}
+}

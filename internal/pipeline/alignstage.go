@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -83,21 +84,40 @@ func needsRC(task overlap.Task) bool {
 	return false
 }
 
-// alignTask runs every seed's x-drop extension for one task and appends
+// alignTask runs one task's alignments and releases the task's claim on
+// read B's reverse-complement cache entry. Each task started the stage
+// counted in rcNeed, so the release must run on every exit path — the
+// defensive missing-sequence return included — or the RC entry leaks for
+// the rest of the stage.
+func (al *aligner) alignTask(task overlap.Task) {
+	seqA := al.view.Seq(task.Pair.A)
+	seqB := al.view.Seq(task.Pair.B)
+	if seqA != nil && seqB != nil {
+		al.alignSeeds(task, seqA, seqB)
+	}
+	// A nil sequence is unreachable by construction; a logic error
+	// surfaces as missing output rather than a crash, and falls through
+	// to the release below.
+	if needsRC(task) {
+		// Last task touching B's reverse complement releases it, keeping
+		// the cache bounded by concurrently-live RCs rather than every
+		// opposite-strand read the stage ever saw.
+		al.rcNeed[task.Pair.B]--
+		if al.rcNeed[task.Pair.B] <= 0 {
+			delete(al.rcNeed, task.Pair.B)
+			delete(al.rc, task.Pair.B)
+		}
+	}
+}
+
+// alignSeeds runs every seed's x-drop extension for one task and appends
 // the surviving alignments. By default only the best-scoring alignment per
 // (pair, strand) is kept — BELLA's semantics; a multi-seed pair otherwise
 // emits duplicate overlapping records — with Config.KeepAllSeedAlignments
 // as the per-seed escape hatch. Ties keep the earliest seed's alignment
 // (seed lists arrive sorted by PosA), so the choice is deterministic and
 // schedule-independent.
-func (al *aligner) alignTask(task overlap.Task) {
-	seqA := al.view.Seq(task.Pair.A)
-	seqB := al.view.Seq(task.Pair.B)
-	if seqA == nil || seqB == nil {
-		// Unreachable by construction; guard so a logic error surfaces
-		// as missing output rather than a crash.
-		return
-	}
+func (al *aligner) alignSeeds(task overlap.Task, seqA, seqB []byte) {
 	cfg := &al.cfg
 	var bestFwd, bestRev Alignment
 	var haveFwd, haveRev bool
@@ -156,16 +176,6 @@ func (al *aligner) alignTask(task overlap.Task) {
 	}
 	al.st.LocalVirtual += price(al.c, al.model, float64(cells), machine.RateCell, 0) +
 		price(al.c, al.model, float64(seedOps), machine.RateSeedPrep, 0)
-	if needsRC(task) {
-		// Last task touching B's reverse complement releases it, keeping
-		// the cache bounded by concurrently-live RCs rather than every
-		// opposite-strand read the stage ever saw.
-		al.rcNeed[task.Pair.B]--
-		if al.rcNeed[task.Pair.B] <= 0 {
-			delete(al.rcNeed, task.Pair.B)
-			delete(al.rc, task.Pair.B)
-		}
-	}
 }
 
 // alignStage fetches non-local reads and computes every seed's x-drop
@@ -174,13 +184,20 @@ func (al *aligner) alignTask(task overlap.Task) {
 // exchanges are posted non-blocking and overlapped: tasks whose reads are
 // both local align during the request exchange's flight, and reverse
 // complements of local B reads are precomputed during the reply
-// exchange's. The emitted alignments are identical either way.
+// exchange's. With Config.ExchangeStreamed the reply exchange is
+// additionally chunked (spmd.IAlltoallvStreamed) and remote tasks run
+// under a readiness-driven scheduler: each task aligns the moment its last
+// missing sequence is installed, so alignment compute overlaps the chunks
+// still in flight instead of starting after the full install. The emitted
+// alignments are identical under every schedule (records are sorted into
+// a total order before output).
 func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	tasks []overlap.Task, cfg Config) ([]Alignment, AlignStats) {
 
 	st := AlignStats{Tasks: int64(len(tasks))}
 	p := c.Size()
-	async := cfg.Exchange == ExchangeAsync
+	async := cfg.Exchange != ExchangeSync
+	streamed := cfg.Exchange == ExchangeStreamed
 	// Exchange/overlap accounting snapshots Comm stats once around the
 	// stage: everything else here only ticks local time, so the stats
 	// delta is exactly the two exchanges (posting costs included).
@@ -255,9 +272,17 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	st.PackVirtual += price(c, model, float64(packedBytes), machine.RatePack, 0)
 	st.PackWall += time.Since(t0)
 
-	// Reply exchange. Under the overlapped schedule, precompute the
-	// reverse complements the remaining tasks will need from reads already
-	// resident while the sequences fly.
+	// Reply exchange. The streamed schedule installs replicas and aligns
+	// newly-ready tasks as chunks land; the other schedules exchange the
+	// whole payload, then install, then align.
+	if streamed {
+		al.streamReplies(reqs, replies, remote, cfg)
+		addComm(&st.Breakdown, preComm, c.Stats())
+		return al.out, st
+	}
+	// Under the overlapped schedule, precompute the reverse complements
+	// the remaining tasks will need from reads already resident while the
+	// sequences fly.
 	var got []spmd.PackedBufs
 	if async {
 		repH := spmd.IAlltoallvPacked(c, replies)
@@ -294,4 +319,59 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	}
 	st.LocalWall += time.Since(t0)
 	return al.out, st
+}
+
+// streamReplies is the readiness-driven reply schedule: the packed reply
+// exchange is streamed in bounded chunks, and remote tasks — indexed by
+// the replica IDs they are waiting on — align the moment their last
+// missing sequence is installed. The alignment compute runs between chunk
+// waits, so it hides the modeled (and wall) cost of the rounds still in
+// flight; the blocking tail shrinks to whatever compute the final chunk
+// leaves behind.
+func (al *aligner) streamReplies(reqs [][]uint32, replies []spmd.PackedBufs,
+	remote []overlap.Task, cfg Config) {
+
+	st := al.st
+	// Index remote tasks by the reads they are missing. A task appears
+	// once per missing read and carries a countdown; hitting zero means
+	// its last sequence just landed.
+	waitCount := make([]int, len(remote))
+	waiting := make(map[uint32][]int)
+	for ti, task := range remote {
+		for _, id := range [2]uint32{task.Pair.A, task.Pair.B} {
+			if !al.view.Owns(id) {
+				waiting[id] = append(waiting[id], ti)
+				waitCount[ti]++
+			}
+		}
+	}
+	deliver := func(d spmd.StreamDelivery) {
+		t0 := time.Now()
+		var installed int64
+		for i, item := range d.Items {
+			id := reqs[d.Src][d.First+i]
+			al.view.AddReplica(id, item)
+			st.ReadsFetched++
+			st.FetchedBytes += int64(len(item))
+			installed += int64(len(item))
+			for _, ti := range waiting[id] {
+				waitCount[ti]--
+				if waitCount[ti] == 0 {
+					al.alignTask(remote[ti])
+				}
+			}
+			delete(waiting, id)
+		}
+		st.LocalVirtual += price(al.c, al.model, float64(installed), machine.RatePack, 0)
+		st.LocalWall += time.Since(t0)
+	}
+	spmd.IAlltoallvStreamed(al.c, replies,
+		spmd.StreamOpts{ChunkBytes: cfg.ReplyChunk, Depth: cfg.ReplyDepth}, deliver)
+	// Every remote task must have aligned during the stream; a leftover
+	// means the request bookkeeping diverged from the reply layout.
+	for ti, n := range waitCount {
+		if n != 0 {
+			panic(fmt.Sprintf("pipeline: streamed reply left task %d waiting on %d read(s)", ti, n))
+		}
+	}
 }

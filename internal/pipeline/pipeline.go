@@ -42,7 +42,27 @@ const (
 	// ExchangeSync is the paper's bulk-synchronous schedule: pack →
 	// blocking exchange → process. Retained for A/B comparison.
 	ExchangeSync
+	// ExchangeStreamed is ExchangeAsync plus a chunked, streaming reply
+	// exchange in the alignment stage (spmd.IAlltoallvStreamed): remote
+	// tasks are aligned the moment their last missing sequence lands,
+	// instead of after every replica is installed. Output is
+	// byte-identical to both other schedules.
+	ExchangeStreamed
 )
+
+// String names the schedule the way Report.Summary prints it.
+func (m ExchangeMode) String() string {
+	switch m {
+	case ExchangeAsync:
+		return "async"
+	case ExchangeSync:
+		return "sync"
+	case ExchangeStreamed:
+		return "streamed"
+	default:
+		return fmt.Sprintf("ExchangeMode(%d)", int(m))
+	}
+}
 
 // Config holds every runtime parameter of a pipeline execution.
 type Config struct {
@@ -80,11 +100,20 @@ type Config struct {
 	// memory on large runs).
 	KeepAlignments bool
 
-	// Exchange selects non-blocking (default) vs bulk-synchronous
-	// exchange scheduling. The two schedules move identical data and
+	// Exchange selects non-blocking (default), bulk-synchronous, or
+	// streamed exchange scheduling. The schedules move identical data and
 	// produce byte-identical PAF; only when and how long ranks block
 	// differs.
 	Exchange ExchangeMode
+
+	// ReplyChunk bounds the per-peer payload (bytes) of one chunk of the
+	// alignment stage's streamed reply exchange (ExchangeStreamed only;
+	// 0: spmd.DefaultChunkBytes).
+	ReplyChunk int
+	// ReplyDepth is how many reply chunk rounds are kept in flight
+	// (ExchangeStreamed only; 0: spmd.DefaultStreamDepth, capped at
+	// spmd.MaxStreamDepth).
+	ReplyDepth int
 
 	// KeepAllSeedAlignments emits one alignment record per explored seed
 	// instead of the default BELLA semantics of keeping only the
@@ -123,6 +152,12 @@ func (cfg *Config) setDefaults() error {
 	}
 	if cfg.XDrop < 0 {
 		return fmt.Errorf("pipeline: negative x-drop %d", cfg.XDrop)
+	}
+	if cfg.ReplyChunk < 0 {
+		return fmt.Errorf("pipeline: negative reply chunk size %d", cfg.ReplyChunk)
+	}
+	if cfg.ReplyDepth < 0 {
+		return fmt.Errorf("pipeline: negative reply stream depth %d", cfg.ReplyDepth)
 	}
 	return nil
 }
@@ -321,7 +356,7 @@ func Run(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config)
 		ErrorRate:        cfg.ErrorRate,
 		UseHLL:           cfg.UseHLL,
 		MinimizerWindow:  cfg.MinimizerWindow,
-		Async:            cfg.Exchange == ExchangeAsync,
+		Async:            cfg.Exchange != ExchangeSync,
 	})
 	if err != nil {
 		return RankReport{}, nil, err
@@ -507,14 +542,15 @@ func (rep *Report) pafRecords(name func(uint32) string) []paf.Record {
 	return out
 }
 
-// Summary renders the run the way diBELLA logs it. The overlap field is
-// the fraction of exchange cost hidden under computation by non-blocking
-// exchanges (0% for the bulk-synchronous schedule).
+// Summary renders the run the way diBELLA logs it. The sched field names
+// the exchange schedule; the overlap field is the fraction of exchange
+// cost hidden under computation by non-blocking or streamed exchanges (0%
+// for the bulk-synchronous schedule).
 func (rep *Report) Summary() string {
 	return fmt.Sprintf(
-		"ranks=%d reads=%d k=%d m=%d retained=%d pairs=%d alignments=%d cells=%d overlap=%.0f%% virtual=%.3fs wall=%v",
+		"ranks=%d reads=%d k=%d m=%d retained=%d pairs=%d alignments=%d cells=%d sched=%s overlap=%.0f%% virtual=%.3fs wall=%v",
 		rep.Ranks, rep.Reads, rep.Config.K, rep.Config.MaxFreq,
 		rep.RetainedKmers, rep.Pairs, rep.Alignments, rep.Cells,
-		rep.OverlapFraction()*100,
+		rep.Config.Exchange, rep.OverlapFraction()*100,
 		rep.VirtualTime, rep.WallTime.Round(time.Millisecond))
 }

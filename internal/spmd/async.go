@@ -30,6 +30,26 @@ type asyncCommModel interface {
 	IPostTime() float64
 }
 
+// streamCommModel is the optional CommModel extension pricing chunk rounds
+// of a streamed exchange (machine.Model implements it): successive chunks
+// of one posted streamed collective reuse the descriptors and per-peer
+// state the first round set up, so both the posting and the exchange cost
+// per chunk are a fraction of a full collective's.
+type streamCommModel interface {
+	ChunkPostTime() float64
+	StreamChunkTime(callIdx int64, maxChunkBytes float64) float64
+}
+
+// streamState is the shared accounting of one streamed exchange: the
+// modeled completion watermark that serializes its rounds. Chunks of one
+// stream travel back-to-back on each peer connection, so in modeled time
+// chunk r cannot start before chunk r-1 (or the header) has fully drained
+// — without this, early-posted chunks would appear to move in parallel
+// and a chunked exchange would price below the monolithic one.
+type streamState struct {
+	completion float64
+}
+
 // Handle is the completion handle of one posted non-blocking exchange.
 type Handle[T any] struct {
 	c       *Comm
@@ -38,6 +58,12 @@ type Handle[T any] struct {
 	myBytes int64
 	shared  bool
 	done    bool
+	// Streamed-exchange state: serial is the owning stream's completion
+	// watermark (nil for standalone exchanges); chunk selects the reduced
+	// per-chunk pricing for data rounds (the stream's header round keeps
+	// full collective pricing).
+	serial *streamState
+	chunk  bool
 }
 
 // IAlltoallv posts an irregular all-to-all without blocking: rank i's
@@ -47,6 +73,13 @@ type Handle[T any] struct {
 // send slices are handed off at post time and must not be mutated until
 // every rank has waited the exchange.
 func IAlltoallv[T any](c *Comm, send [][]T) *Handle[T] {
+	return iAlltoallv(c, send, nil, false)
+}
+
+// iAlltoallv is the posting core shared by the standalone non-blocking
+// exchange and the streamed rounds: serial/chunk select the streamed
+// accounting described on Handle.
+func iAlltoallv[T any](c *Comm, send [][]T, serial *streamState, chunk bool) *Handle[T] {
 	p := c.Size()
 	if len(send) != p {
 		panic(fmt.Sprintf("spmd: IAlltoallv send length %d != world size %d", len(send), p))
@@ -65,16 +98,22 @@ func IAlltoallv[T any](c *Comm, send [][]T) *Handle[T] {
 	if err != nil {
 		collectiveFailed(c, "ialltoallv post", err)
 	}
-	if am, ok := c.model.(asyncCommModel); ok {
-		// Posting is not free: descriptor setup and buffer registration
-		// run on the rank's own clock. The cost is exchange accounting
-		// (it exists only because of the exchange) but is CPU-bound, so
-		// it never counts as hidden.
-		d := am.IPostTime()
+	// Posting is not free: descriptor setup and buffer registration run on
+	// the rank's own clock. The cost is exchange accounting (it exists
+	// only because of the exchange) but is CPU-bound, so it never counts
+	// as hidden. Chunk rounds of a stream pay the reduced per-chunk cost.
+	var d float64
+	if sm, ok := c.model.(streamCommModel); ok && chunk {
+		d = sm.ChunkPostTime()
+	} else if am, ok := c.model.(asyncCommModel); ok {
+		d = am.IPostTime()
+	}
+	if d > 0 {
 		c.Tick(d)
 		c.stats.ExchangeVirtual += d
 	}
-	h := &Handle[T]{c: c, pe: pe, id: c.nextID, myBytes: myBytes, shared: shared}
+	h := &Handle[T]{c: c, pe: pe, id: c.nextID, myBytes: myBytes, shared: shared,
+		serial: serial, chunk: chunk}
 	c.nextID++
 	if len(c.pending) == 0 {
 		// First in-flight exchange: compute from here on counts as
@@ -118,7 +157,21 @@ func (h *Handle[T]) Wait() [][]T {
 	c.anchorWall = time.Now()
 	c.anchorExchWall = c.stats.ExchangeWall + blocked
 
-	cost := c.modelAlltoallv(bmax)
+	// A stream's rounds drain one after another on each peer connection:
+	// this round starts at the later of its BSP post maximum and the
+	// previous round's modeled completion.
+	if h.serial != nil && h.serial.completion > tmax {
+		tmax = h.serial.completion
+	}
+	var cost float64
+	if h.chunk {
+		cost = c.modelStreamChunk(bmax)
+	} else {
+		cost = c.modelAlltoallv(bmax)
+	}
+	if h.serial != nil {
+		h.serial.completion = tmax + cost
+	}
 	// The exchange occupied modeled time [tmax, tmax+cost]; whatever local
 	// progress the rank made past tmax hid that much of the cost.
 	hidden := c.clock - tmax

@@ -95,6 +95,26 @@ func TestAssignHostRanks(t *testing.T) {
 	}
 }
 
+// syncBuffer is a goroutine-safe log sink for tests that run several
+// bootstrap endpoints (each logging from its own goroutine) in one
+// process.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 // TestHostListBootstrapLoopback forms a 3-rank world across three
 // simulated "hosts" entirely in-process: the launcher (rank 0) serves the
 // join protocol while two HostJoinBootstrap agents — standing in for
@@ -110,7 +130,9 @@ func TestHostListBootstrapLoopback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var log bytes.Buffer
+	// The launcher and both join agents log concurrently from their own
+	// goroutines; sharing a bare bytes.Buffer races.
+	var log syncBuffer
 	launcher := &HostListBootstrap{
 		Hosts: hosts, Timeout: 20 * time.Second,
 		Output: &log, NoSpawn: true,

@@ -365,6 +365,18 @@ func (c *Comm) modelAlltoallv(maxBytes float64) float64 {
 	return d
 }
 
+// modelStreamChunk prices one chunk round of a streamed exchange, falling
+// back to full collective pricing on models without stream support.
+func (c *Comm) modelStreamChunk(maxBytes float64) float64 {
+	sm, ok := c.model.(streamCommModel)
+	if !ok {
+		return c.modelAlltoallv(maxBytes)
+	}
+	d := sm.StreamChunkTime(c.stats.Alltoallvs, maxBytes)
+	c.stats.ExchangeVirtual += d
+	return d
+}
+
 // Alltoall delivers exactly one element to every rank: rank i's send[j]
 // becomes rank j's recv[i]. It matches MPI_Alltoall with count 1 and is
 // how the pipeline exchanges per-destination counts before an Alltoallv.

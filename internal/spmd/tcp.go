@@ -381,15 +381,18 @@ func (t *tcpTransport) admit(r int, conn net.Conn) error {
 	t.peers[r] = &peerConn{
 		conn: conn,
 		bw:   bufio.NewWriterSize(conn, 64<<10),
-		// Capacity 8: with non-blocking exchanges a peer may post a few
-		// collectives ahead of our consumption (the round pipeline keeps
-		// two in flight, plus whatever blocking collective follows), so
-		// the reader needs headroom before it parks — a parked reader
-		// backpressures the peer's writer and, transitively, its posts.
-		frames: make(chan peerMsg, 8),
+		// Capacity 2*MaxStreamDepth: a peer may post collectives ahead of
+		// our consumption — the round pipeline keeps two in flight, and a
+		// streamed exchange posts its header plus up to MaxStreamDepth
+		// chunk rounds before waiting the first — so the reader needs
+		// headroom for a full pipeline window before it parks. A parked
+		// reader backpressures the peer's writer and, transitively, its
+		// posts; sizing past the deepest legal window keeps the window
+		// itself deadlock-free regardless of socket buffering.
+		frames: make(chan peerMsg, 2*MaxStreamDepth),
 		// Same bound on the outbound side: one frame per in-flight
 		// collective per peer.
-		sendq: make(chan outFrame, 8),
+		sendq: make(chan outFrame, 2*MaxStreamDepth),
 	}
 	return nil
 }
