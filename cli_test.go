@@ -5,13 +5,17 @@ package dibella
 // keep unit runs fast; the full suite exercises the actual binaries.
 
 import (
+	"bufio"
 	"bytes"
+	"io"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"dibella/internal/paf"
 )
@@ -241,6 +245,212 @@ func TestCLIHostListMatchesMem(t *testing.T) {
 	if out, err := exec.Command(dibella,
 		"-in", reads, "-rank", "1", "-rendezvous", "127.0.0.1:9").CombinedOutput(); err == nil {
 		t.Errorf("-rank/-rendezvous accepted:\n%s", out)
+	}
+}
+
+// TestCLICheckpointResume is the operator-level restart drill: snapshot
+// a run, kill it right after the DHT boundary commits (-ckpt-abort-after,
+// exit 3), resume at a different world size on both transports, and
+// require PAF byte-identical to the uninterrupted run.
+func TestCLICheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	dir := t.TempDir()
+	seqgen := buildTool(t, dir, "./cmd/seqgen")
+	dibella := buildTool(t, dir, "./cmd/dibella")
+
+	reads := filepath.Join(dir, "reads.fastq")
+	if out, err := exec.Command(seqgen,
+		"-genome", "20000", "-coverage", "10", "-mean-len", "1500",
+		"-error-rate", "0.06", "-seed", "7", "-out", reads,
+	).CombinedOutput(); err != nil {
+		t.Fatalf("seqgen: %v\n%s", err, out)
+	}
+
+	freshPAF := filepath.Join(dir, "fresh.paf")
+	if out, err := exec.Command(dibella,
+		"-in", reads, "-p", "4", "-k", "17", "-error-rate", "0.06", "-out", freshPAF,
+	).CombinedOutput(); err != nil {
+		t.Fatalf("fresh run: %v\n%s", err, out)
+	}
+	freshBytes, err := os.ReadFile(freshPAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freshBytes) == 0 {
+		t.Fatal("fresh run produced an empty PAF")
+	}
+
+	// Snapshot and kill after the DHT stage commits.
+	ck := filepath.Join(dir, "ck")
+	out, err := exec.Command(dibella,
+		"-in", reads, "-p", "4", "-k", "17", "-error-rate", "0.06",
+		"-ckpt-dir", ck, "-ckpt-abort-after", "dht",
+	).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Fatalf("kill run: want exit 3, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "aborted after checkpoint") {
+		t.Errorf("kill run output missing abort notice:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(ck, "manifest.json")); err != nil {
+		t.Fatalf("no manifest after kill: %v", err)
+	}
+
+	// Elastic resume at P=2 (mem) and P=3 (tcp worker processes).
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"mem-p2", []string{"-resume", ck, "-p", "2"}},
+		{"tcp-p3", []string{"-resume", ck, "-p", "3", "-transport", "tcp"}},
+	} {
+		resumedPAF := filepath.Join(dir, tc.name+".paf")
+		out, err := exec.Command(dibella, append(tc.args, "-out", resumedPAF)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", tc.name, err, out)
+		}
+		if !strings.Contains(string(out), "resumed "+ck) {
+			t.Errorf("%s output missing resume notice:\n%s", tc.name, out)
+		}
+		resumedBytes, err := os.ReadFile(resumedPAF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(freshBytes, resumedBytes) {
+			t.Errorf("%s: resumed PAF differs from fresh run (%d vs %d bytes)",
+				tc.name, len(resumedBytes), len(freshBytes))
+		}
+	}
+
+	// Output-affecting flags are rejected with -resume.
+	if out, err := exec.Command(dibella, "-resume", ck, "-k", "19").CombinedOutput(); err == nil {
+		t.Errorf("-resume -k accepted:\n%s", out)
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("-resume -k: want usage exit 2, got %v\n%s", err, out)
+	}
+}
+
+// startHostLauncher launches a -hosts world whose second host must be
+// joined externally, and returns the advertised join address plus the
+// command (still running).
+func startHostLauncher(t *testing.T, dibella string, args []string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(dibella, args...)
+	var buf bytes.Buffer
+	pr, pw := io.Pipe()
+	cmd.Stdout = &buf
+	cmd.Stderr = io.MultiWriter(&buf, pw)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "join address "); i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+len("join address "):])
+				break
+			}
+		}
+		io.Copy(io.Discard, pr) // keep draining so the child never blocks
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr, &buf
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("launcher never printed a join address:\n%s", buf.String())
+		return nil, "", nil
+	}
+}
+
+// TestCLIJoinConfigShipping: a `dibella -join <addr>` agent with no
+// config flags must receive the launcher's resolved configuration in the
+// formation handshake and produce the same output as an in-process run;
+// an agent passing a conflicting config flag must fail formation with a
+// clear error naming the flag.
+func TestCLIJoinConfigShipping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test in short mode")
+	}
+	dir := t.TempDir()
+	seqgen := buildTool(t, dir, "./cmd/seqgen")
+	dibella := buildTool(t, dir, "./cmd/dibella")
+
+	reads := filepath.Join(dir, "reads.fastq")
+	if out, err := exec.Command(seqgen,
+		"-genome", "20000", "-coverage", "10", "-mean-len", "1500",
+		"-error-rate", "0.06", "-seed", "11", "-out", reads,
+	).CombinedOutput(); err != nil {
+		t.Fatalf("seqgen: %v\n%s", err, out)
+	}
+	memPAF := filepath.Join(dir, "mem.paf")
+	if out, err := exec.Command(dibella,
+		"-in", reads, "-p", "4", "-k", "17", "-error-rate", "0.06", "-out", memPAF,
+	).CombinedOutput(); err != nil {
+		t.Fatalf("mem run: %v\n%s", err, out)
+	}
+	memBytes, err := os.ReadFile(memPAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "farhost" is not loopback, so the launcher waits for a real join
+	// instead of simulating the second host.
+	hostsPAF := filepath.Join(dir, "hosts.paf")
+	launcher, joinAddr, launcherOut := startHostLauncher(t, dibella, []string{
+		"-in", reads, "-p", "4", "-k", "17", "-error-rate", "0.06",
+		"-hosts", "127.0.0.1:2,farhost:2", "-out", hostsPAF,
+	})
+	// The join address advertises the unresolvable host name; dial the
+	// launcher over loopback instead.
+	_, port, err := net.SplitHostPort(joinAddr)
+	if err != nil {
+		t.Fatalf("join address %q: %v", joinAddr, err)
+	}
+	// The agent passes no config flags at all: everything ships in the
+	// assignment.
+	agentOut, agentErr := exec.Command(dibella, "-join", "127.0.0.1:"+port).CombinedOutput()
+	launchErr := launcher.Wait()
+	if agentErr != nil {
+		t.Fatalf("bare -join agent: %v\n%s", agentErr, agentOut)
+	}
+	if launchErr != nil {
+		t.Fatalf("launcher: %v\n%s", launchErr, launcherOut.String())
+	}
+	hostsBytes, err := os.ReadFile(hostsPAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(memBytes, hostsBytes) {
+		t.Errorf("shipped-config world PAF differs from mem run (%d vs %d bytes)",
+			len(hostsBytes), len(memBytes))
+	}
+
+	// Conflicting explicit joiner flag: formation fails, naming the flag.
+	launcher2, joinAddr2, launcher2Out := startHostLauncher(t, dibella, []string{
+		"-in", reads, "-p", "4", "-k", "17", "-error-rate", "0.06",
+		"-hosts", "127.0.0.1:2,farhost:2",
+	})
+	_, port2, err := net.SplitHostPort(joinAddr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agentOut2, agentErr2 := exec.Command(dibella, "-join", "127.0.0.1:"+port2, "-k", "19").CombinedOutput()
+	launcher2.Wait() // world aborts once the joiner bails; exit status is secondary
+	_ = launcher2Out
+	if agentErr2 == nil {
+		t.Fatalf("conflicting -k joiner succeeded:\n%s", agentOut2)
+	}
+	for _, want := range []string{"conflict", "-k", "launcher says 17"} {
+		if !strings.Contains(string(agentOut2), want) {
+			t.Errorf("conflict error missing %q:\n%s", want, agentOut2)
+		}
 	}
 }
 

@@ -11,9 +11,12 @@
 //	benchcheck -fresh BENCH_CI.json              # auto-discover the committed baseline
 //	benchcheck -prev BENCH_PR4.json -fresh BENCH_CI.json
 //
-// Schedules are matched by name (sync / async / streamed / ...): only
-// those present in both snapshots are compared, so snapshots may gain
-// schedules across PRs without breaking older baselines.
+// The diff is strictly per-schedule (sync / async / streamed / ckpt /
+// ...): only schedules present in both snapshots gate the build, so a
+// fresh snapshot that *adds* a schedule (a new feature's run) passes
+// with the addition reported as informational, and a schedule missing
+// from the fresh snapshot is called out as a warning (lost coverage)
+// without failing the gate. Identical schedule sets are not required.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 func main() {
@@ -63,36 +67,65 @@ func main() {
 		fatal(fmt.Errorf("%s vs %s: %w (regenerate the committed baseline alongside the workload change)",
 			prevPath, *fresh, err))
 	}
-	prevRuns, freshRuns := prevSnap.runs, freshSnap.runs
-
-	names := make([]string, 0, len(prevRuns))
-	for name := range prevRuns {
-		if _, ok := freshRuns[name]; ok {
-			names = append(names, name)
-		}
+	report, failed, err := compare(prevSnap, freshSnap, prevPath, *fresh, *tolerance)
+	if err != nil {
+		fatal(err)
 	}
-	if len(names) == 0 {
-		fatal(fmt.Errorf("no common schedules between %s and %s", prevPath, *fresh))
-	}
-	sort.Strings(names)
-
-	failed := false
-	fmt.Printf("bench regression check: %s (baseline) vs %s (fresh), tolerance %.0f%%\n",
-		prevPath, *fresh, *tolerance*100)
-	for _, name := range names {
-		p, f := prevRuns[name], freshRuns[name]
-		delta := (f - p) / p
-		status := "ok"
-		if delta > *tolerance {
-			status = "REGRESSED"
-			failed = true
-		}
-		fmt.Printf("  %-10s virtual_seconds %.6f -> %.6f (%+.1f%%) %s\n",
-			name, p, f, delta*100, status)
-	}
+	fmt.Print(report)
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// compare diffs two comparable snapshots per schedule. Only schedules in
+// both gate the result; additions and removals are reported but never
+// fail the check.
+func compare(prevSnap, freshSnap *snapshot, prevPath, freshPath string, tolerance float64) (string, bool, error) {
+	prevRuns, freshRuns := prevSnap.runs, freshSnap.runs
+	var common, added, missing []string
+	for name := range prevRuns {
+		if _, ok := freshRuns[name]; ok {
+			common = append(common, name)
+		} else {
+			missing = append(missing, name)
+		}
+	}
+	for name := range freshRuns {
+		if _, ok := prevRuns[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	if len(common) == 0 {
+		return "", false, fmt.Errorf("no common schedules between %s and %s", prevPath, freshPath)
+	}
+	sort.Strings(common)
+	sort.Strings(added)
+	sort.Strings(missing)
+
+	var b strings.Builder
+	failed := false
+	fmt.Fprintf(&b, "bench regression check: %s (baseline) vs %s (fresh), tolerance %.0f%%\n",
+		prevPath, freshPath, tolerance*100)
+	for _, name := range common {
+		p, f := prevRuns[name], freshRuns[name]
+		delta := (f - p) / p
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Fprintf(&b, "  %-10s virtual_seconds %.6f -> %.6f (%+.1f%%) %s\n",
+			name, p, f, delta*100, status)
+	}
+	for _, name := range added {
+		fmt.Fprintf(&b, "  %-10s virtual_seconds %.6f (new schedule, no baseline to gate against)\n",
+			name, freshRuns[name])
+	}
+	for _, name := range missing {
+		fmt.Fprintf(&b, "  %-10s WARNING: present in baseline but missing from fresh snapshot (coverage lost?)\n",
+			name)
+	}
+	return b.String(), failed, nil
 }
 
 // snapshot is the comparable content of one bench JSON: the workload

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dibella/internal/ckpt"
+	"dibella/internal/pipeline"
+)
+
+// runParams is the resolved run configuration: everything a rank needs
+// to execute the pipeline, independent of how it learned it (its own
+// flags, the launcher's formation handshake, or the parent's env blob).
+//
+// It is the payload of config shipping: a `-hosts` launcher serializes
+// its runParams into the world-formation handshake, so `dibella -join
+// <addr>` needs no other flags — and a joiner that *does* pass explicit
+// config flags has them checked against the launcher's values, failing
+// formation on a mismatch instead of running a silently divergent rank.
+type runParams struct {
+	In             string          `json:"in"`
+	Platform       string          `json:"platform,omitempty"`
+	Nodes          int             `json:"nodes"`
+	CkptDir        string          `json:"ckpt_dir,omitempty"`
+	CkptEvery      string          `json:"ckpt_every,omitempty"`
+	CkptAbortAfter string          `json:"ckpt_abort_after,omitempty"`
+	Resume         string          `json:"resume,omitempty"`
+	Cfg            pipeline.Config `json:"pipeline"`
+}
+
+// encode serializes the params for the formation handshake / env blob.
+func (p *runParams) encode() ([]byte, error) { return json.Marshal(p) }
+
+// decodeRunParams parses a shipped blob.
+func decodeRunParams(blob []byte) (*runParams, error) {
+	var p runParams
+	if err := json.Unmarshal(blob, &p); err != nil {
+		return nil, fmt.Errorf("shipped run config: %w", err)
+	}
+	return &p, nil
+}
+
+// configFlagFields maps every config-bearing flag name to the runParams
+// field it resolves into, for comparing a joiner's explicit flags
+// against the launcher's shipped config. Flags that only shape the local
+// process (-out, -breakdown, -form-timeout, -transport, -p, -join,
+// -hosts, -hostfile) are deliberately absent: they may differ per host.
+var configFlagFields = map[string]func(*runParams) any{
+	"in":       func(p *runParams) any { return p.In },
+	"platform": func(p *runParams) any { return p.Platform },
+	"nodes":    func(p *runParams) any { return p.Nodes },
+
+	"ckpt-dir":         func(p *runParams) any { return p.CkptDir },
+	"ckpt-every":       func(p *runParams) any { return p.CkptEvery },
+	"ckpt-abort-after": func(p *runParams) any { return p.CkptAbortAfter },
+	"resume":           func(p *runParams) any { return p.Resume },
+
+	"k":         func(p *runParams) any { return p.Cfg.K },
+	"m":         func(p *runParams) any { return p.Cfg.MaxFreq },
+	"seed-mode": func(p *runParams) any { return p.Cfg.SeedMode },
+	"min-dist":  func(p *runParams) any { return p.Cfg.MinDist },
+	"xdrop":     func(p *runParams) any { return p.Cfg.XDrop },
+	"min-score": func(p *runParams) any { return p.Cfg.MinAlignScore },
+
+	"error-rate": func(p *runParams) any { return p.Cfg.ErrorRate },
+	"coverage":   func(p *runParams) any { return p.Cfg.Coverage },
+	"genome":     func(p *runParams) any { return p.Cfg.GenomeEst },
+	"hll":        func(p *runParams) any { return p.Cfg.UseHLL },
+
+	"async-exchange":           func(p *runParams) any { return p.Cfg.Exchange },
+	"reply-chunk":              func(p *runParams) any { return p.Cfg.ReplyChunk },
+	"reply-depth":              func(p *runParams) any { return p.Cfg.ReplyDepth },
+	"keep-all-seed-alignments": func(p *runParams) any { return p.Cfg.KeepAllSeedAlignments },
+}
+
+// configFlagConflicts compares the flags this process's user explicitly
+// set against the launcher's shipped configuration. Explicit flags that
+// agree are fine (the common case for simulated host agents, which
+// inherit the launcher's full command line); disagreements are returned
+// one per flag, sorted for a deterministic error message.
+func configFlagConflicts(explicit map[string]bool, local, shipped *runParams) []string {
+	var conflicts []string
+	for name, field := range configFlagFields {
+		if !explicit[name] {
+			continue
+		}
+		lv, sv := field(local), field(shipped)
+		if lv != sv {
+			conflicts = append(conflicts, fmt.Sprintf("-%s: this command says %v, launcher says %v", name, lv, sv))
+		}
+	}
+	sort.Strings(conflicts)
+	return conflicts
+}
+
+// outputAffectingFlags are the config flags that change the pipeline's
+// output and are therefore meaningless with -resume (the snapshot's
+// manifest is authoritative); passing one explicitly is rejected so the
+// user learns the flag was not applied.
+var outputAffectingFlags = []string{
+	"in", "k", "m", "seed-mode", "min-dist", "xdrop", "min-score",
+	"error-rate", "coverage", "genome", "keep-all-seed-alignments",
+}
+
+// resumeFlagError reports the first explicitly-set flag that a -resume
+// run cannot honor.
+func resumeFlagError(explicit map[string]bool) error {
+	for _, name := range outputAffectingFlags {
+		if explicit[name] {
+			return fmt.Errorf("-%s has no effect with -resume: the snapshot's manifest supplies the configuration (only scheduling flags like -reply-chunk may change on resume)", name)
+		}
+	}
+	return nil
+}
+
+// ckptOptions translates the checkpoint flags into pipeline options,
+// validating stage names early (a typo should fail at startup, not after
+// world formation).
+func (p *runParams) ckptOptions() (*pipeline.CkptOptions, error) {
+	if p.CkptDir == "" {
+		if p.CkptEvery != "" || p.CkptAbortAfter != "" {
+			return nil, fmt.Errorf("-ckpt-every/-ckpt-abort-after require -ckpt-dir")
+		}
+		return nil, nil
+	}
+	opts := &pipeline.CkptOptions{Dir: p.CkptDir, AbortAfter: p.CkptAbortAfter}
+	if p.CkptEvery != "" && p.CkptEvery != "all" {
+		for _, s := range strings.Split(p.CkptEvery, ",") {
+			s = strings.TrimSpace(s)
+			if ckpt.StageOrder(s) < 0 {
+				return nil, fmt.Errorf("-ckpt-every: unknown stage %q (want load, dht, overlap, or all)", s)
+			}
+			opts.Stages = append(opts.Stages, s)
+		}
+	}
+	if opts.AbortAfter != "" {
+		if ckpt.StageOrder(opts.AbortAfter) < 0 {
+			return nil, fmt.Errorf("-ckpt-abort-after: unknown stage %q (want load, dht, or overlap)", opts.AbortAfter)
+		}
+		if len(opts.Stages) > 0 {
+			found := false
+			for _, s := range opts.Stages {
+				found = found || s == opts.AbortAfter
+			}
+			if !found {
+				return nil, fmt.Errorf("-ckpt-abort-after %q is not among the -ckpt-every stages %q", opts.AbortAfter, p.CkptEvery)
+			}
+		}
+	}
+	return opts, nil
+}
+
+// scheduleMutator carries this command's scheduling knobs onto a resumed
+// configuration. Only output-neutral fields are touched; the pipeline
+// verifies that against the manifest's config hash regardless.
+func (p *runParams) scheduleMutator() func(*pipeline.Config) {
+	cfg := p.Cfg
+	return func(c *pipeline.Config) {
+		c.Exchange = cfg.Exchange
+		c.ReplyChunk = cfg.ReplyChunk
+		c.ReplyDepth = cfg.ReplyDepth
+		c.KeepAlignments = true // rank 0 writes PAF
+	}
+}

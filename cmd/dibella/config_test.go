@@ -1,0 +1,128 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dibella/internal/overlap"
+	"dibella/internal/pipeline"
+)
+
+func baseParams() *runParams {
+	return &runParams{
+		In: "reads.fastq", Platform: "cori", Nodes: 8,
+		Cfg: pipeline.Config{
+			K: 17, SeedMode: overlap.MinDistance, MinDist: 1000,
+			ErrorRate: 0.15, Coverage: 30, GenomeEst: 4.64e6,
+			Exchange: pipeline.ExchangeStreamed, ReplyChunk: 64 << 10, ReplyDepth: 2,
+		},
+	}
+}
+
+func TestRunParamsRoundtrip(t *testing.T) {
+	p := baseParams()
+	p.CkptDir, p.Resume = "ck", ""
+	blob, err := p.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeRunParams(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.In != p.In || back.Cfg.K != 17 || back.Cfg.Exchange != pipeline.ExchangeStreamed ||
+		back.CkptDir != "ck" || back.Nodes != 8 {
+		t.Errorf("roundtrip lost fields: %+v", back)
+	}
+	if _, err := decodeRunParams([]byte("{nope")); err == nil {
+		t.Error("garbage blob accepted")
+	}
+}
+
+func TestConfigFlagConflicts(t *testing.T) {
+	shipped := baseParams()
+	// Identical explicit flags (a simulated agent inheriting the
+	// launcher's command line): no conflict.
+	local := baseParams()
+	explicit := map[string]bool{"in": true, "k": true, "seed-mode": true}
+	if c := configFlagConflicts(explicit, local, shipped); len(c) != 0 {
+		t.Errorf("matching flags flagged: %v", c)
+	}
+	// Divergent explicit flags: each reported.
+	local.Cfg.K = 19
+	local.In = "other.fastq"
+	c := configFlagConflicts(explicit, local, shipped)
+	if len(c) != 2 {
+		t.Fatalf("conflicts = %v, want 2", c)
+	}
+	for _, msg := range c {
+		if !strings.Contains(msg, "launcher says") {
+			t.Errorf("conflict message %q lacks launcher value", msg)
+		}
+	}
+	// The same divergence without the explicit flag: ignored (the joiner
+	// just inherits the launcher's value).
+	if c := configFlagConflicts(map[string]bool{"seed-mode": true}, local, shipped); len(c) != 0 {
+		t.Errorf("implicit defaults flagged: %v", c)
+	}
+	// Per-host flags (out, transport, p) never conflict.
+	if c := configFlagConflicts(map[string]bool{"out": true, "p": true}, local, shipped); len(c) != 0 {
+		t.Errorf("per-host flags flagged: %v", c)
+	}
+}
+
+func TestCkptOptionsValidation(t *testing.T) {
+	p := baseParams()
+	opts, err := p.ckptOptions()
+	if err != nil || opts != nil {
+		t.Errorf("no ckpt flags: opts=%v err=%v", opts, err)
+	}
+	p.CkptEvery = "dht"
+	if _, err := p.ckptOptions(); err == nil {
+		t.Error("-ckpt-every without -ckpt-dir accepted")
+	}
+	p.CkptDir = "ck"
+	opts, err = p.ckptOptions()
+	if err != nil || len(opts.Stages) != 1 || opts.Stages[0] != "dht" {
+		t.Errorf("opts=%+v err=%v", opts, err)
+	}
+	p.CkptEvery = "load, overlap"
+	opts, err = p.ckptOptions()
+	if err != nil || len(opts.Stages) != 2 {
+		t.Errorf("comma list: opts=%+v err=%v", opts, err)
+	}
+	p.CkptEvery = "all"
+	opts, err = p.ckptOptions()
+	if err != nil || len(opts.Stages) != 0 {
+		t.Errorf("all: opts=%+v err=%v", opts, err)
+	}
+	p.CkptEvery = "bloom"
+	if _, err := p.ckptOptions(); err == nil || !strings.Contains(err.Error(), "bloom") {
+		t.Errorf("typo stage: %v", err)
+	}
+	p.CkptEvery = ""
+	p.CkptAbortAfter = "nope"
+	if _, err := p.ckptOptions(); err == nil {
+		t.Error("bad -ckpt-abort-after accepted")
+	}
+}
+
+func TestResumeFlagError(t *testing.T) {
+	if err := resumeFlagError(map[string]bool{"p": true, "reply-chunk": true, "out": true}); err != nil {
+		t.Errorf("schedule flags rejected: %v", err)
+	}
+	err := resumeFlagError(map[string]bool{"k": true})
+	if err == nil || !strings.Contains(err.Error(), "-k") {
+		t.Errorf("explicit -k with -resume: %v", err)
+	}
+}
+
+func TestScheduleMutator(t *testing.T) {
+	p := baseParams()
+	p.Cfg.Exchange = pipeline.ExchangeSync
+	cfg := pipeline.Config{Exchange: pipeline.ExchangeStreamed, ReplyChunk: 1, ReplyDepth: 1}
+	p.scheduleMutator()(&cfg)
+	if cfg.Exchange != pipeline.ExchangeSync || !cfg.KeepAlignments {
+		t.Errorf("mutated cfg: %+v", cfg)
+	}
+}

@@ -7,7 +7,9 @@
 //	dibella -in reads.fastq -platform cori -nodes 8     # modeled platform run
 //	dibella -in reads.fastq -transport tcp -p 4         # 4 OS processes over TCP
 //	dibella -in reads.fastq -hosts n1,n2:4 -p 8         # multi-host world
-//	dibella -in reads.fastq -join n1:33441              # enter a -hosts world
+//	dibella -join n1:33441                              # enter a -hosts world
+//	dibella -in reads.fastq -ckpt-dir ck -p 8           # snapshot stage boundaries
+//	dibella -resume ck -p 4                             # restart (any world size)
 //
 // With -transport tcp the process acts as a launcher: it binds a loopback
 // rendezvous port, forks P-1 copies of itself as worker processes (ranks
@@ -21,21 +23,34 @@
 // With -hosts (or -hostfile) the world spans machines: the launcher
 // assigns each host a contiguous rank range, binds public rendezvous and
 // join ports, and prints the `dibella -join <addr>` command to run on
-// each remote host. Host entries that resolve to loopback are simulated —
-// the launcher forks their join agents locally — so a multi-host launch
-// can be rehearsed on one machine. Schedulers that already place one
-// process per rank skip all of this by exporting DIBELLA_RANK,
-// DIBELLA_WORLD_SIZE, and DIBELLA_RENDEZVOUS directly.
+// each remote host. The launcher's resolved configuration ships to every
+// joiner in the formation handshake, so join commands need no other
+// flags; a joiner that passes conflicting config flags fails formation
+// with a clear error. Host entries that resolve to loopback are
+// simulated — the launcher forks their join agents locally — so a
+// multi-host launch can be rehearsed on one machine. Schedulers that
+// already place one process per rank skip all of this by exporting
+// DIBELLA_RANK, DIBELLA_WORLD_SIZE, and DIBELLA_RENDEZVOUS directly.
+//
+// With -ckpt-dir the pipeline snapshots its state at stage boundaries
+// (sharded read store after loading, k-mer DHT partitions after
+// construction, overlap task sets after detection) into per-rank segment
+// files plus a rank-0 manifest; -resume <dir> restarts from the latest
+// complete snapshot — at any world size, re-sharding the state across
+// the new ranks — with PAF output byte-identical to an uninterrupted
+// run. See the README's "Checkpoint & resume" section.
 //
 // With -platform, the report additionally carries modeled per-stage times
 // for the chosen machine (see -breakdown).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"dibella/internal/fastq"
@@ -50,7 +65,7 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input FASTQ/FASTA file (required)")
+		in       = flag.String("in", "", "input FASTQ/FASTA file (required unless -resume)")
 		out      = flag.String("out", "", "output PAF file (default: stdout)")
 		p        = flag.Int("p", 8, "number of ranks (goroutines, or processes with -transport tcp)")
 		k        = flag.Int("k", 0, "k-mer length (0: derive from -error-rate/-genome)")
@@ -72,6 +87,11 @@ func main() {
 
 		replyChunk = flag.Int("reply-chunk", spmd.DefaultChunkBytes, "stream the alignment stage's read-reply exchange in per-peer chunks of this many bytes, aligning tasks as their sequences land (0: whole-payload reply; same output; requires -async-exchange)")
 		replyDepth = flag.Int("reply-depth", spmd.DefaultStreamDepth, fmt.Sprintf("streamed reply chunk exchanges kept in flight, 1..%d (with -reply-chunk)", spmd.MaxStreamDepth))
+
+		ckptDir   = flag.String("ckpt-dir", "", "snapshot pipeline state at stage boundaries into this directory (per-rank segments + rank-0 manifest)")
+		ckptEvery = flag.String("ckpt-every", "", "comma-separated stage boundaries to snapshot: load, dht, overlap (default: all; with -ckpt-dir)")
+		ckptAbort = flag.String("ckpt-abort-after", "", "abort the run right after this stage's snapshot commits — a kill switch for restart drills (with -ckpt-dir)")
+		resume    = flag.String("resume", "", "restart from this checkpoint directory's latest complete snapshot (any -p; config comes from the snapshot manifest)")
 
 		transport   = flag.String("transport", "mem", "spmd backend: mem (goroutine ranks) | tcp (one OS process per rank)")
 		hosts       = flag.String("hosts", "", "comma-separated host[:ranks] list for a multi-host TCP world (first entry is this machine; loopback entries are simulated locally)")
@@ -98,9 +118,16 @@ func main() {
 			}
 		}
 	}
+	// Joiners and env-placed workers may legitimately start with no config
+	// flags at all: the launcher's configuration arrives in the formation
+	// handshake (join agents) or the DIBELLA_CONFIG env blob (workers).
+	remoteConfigured := isWorker || joinAddr != ""
 
-	if *in == "" {
-		usageError("-in is required")
+	if *in == "" && *resume == "" && !remoteConfigured {
+		usageError("-in is required (or -resume to restart from a snapshot)")
+	}
+	if *in != "" && *resume != "" {
+		usageError("-in and -resume are mutually exclusive: a resumed run reads its input from the snapshot")
 	}
 	// Numeric flags are validated up front: a nonsense value otherwise
 	// surfaces much later as an opaque panic (k=0 entering the k-mer
@@ -137,20 +164,16 @@ func main() {
 	if *hosts != "" && *hostfile != "" {
 		fatal(fmt.Errorf("-hosts and -hostfile are mutually exclusive"))
 	}
-	transportSet, pSet, replyChunkSet := false, false, false
-	flag.Visit(func(f *flag.Flag) {
-		switch f.Name {
-		case "transport":
-			transportSet = true
-		case "p":
-			pSet = true
-		case "reply-chunk":
-			replyChunkSet = true
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *resume != "" {
+		if err := resumeFlagError(explicit); err != nil {
+			usageError("%v", err)
 		}
-	})
+	}
 	// Multi-host modes and env-placed workers are TCP by construction.
-	if isWorker || joinAddr != "" || *hosts != "" || *hostfile != "" {
-		if transportSet && *transport == "mem" {
+	if remoteConfigured || *hosts != "" || *hostfile != "" {
+		if explicit["transport"] && *transport == "mem" {
 			fatal(fmt.Errorf("-transport mem cannot form a multi-host world; drop it or use -transport tcp"))
 		}
 		*transport = "tcp"
@@ -159,7 +182,7 @@ func main() {
 	// Resolve the host list (launcher only): explicit per-host counts may
 	// determine the world size on their own.
 	var hostList []spmd.HostSpec
-	if !isWorker && joinAddr == "" && (*hosts != "" || *hostfile != "") {
+	if !remoteConfigured && (*hosts != "" || *hostfile != "") {
 		if *hosts != "" {
 			hostList, err = spmd.ParseHostList(*hosts)
 		} else {
@@ -168,13 +191,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		explicit, allExplicit := 0, true
+		explicitRanks, allExplicit := 0, true
 		for _, h := range hostList {
-			explicit += h.Ranks
+			explicitRanks += h.Ranks
 			allExplicit = allExplicit && h.Ranks > 0
 		}
-		if allExplicit && !pSet {
-			*p = explicit
+		if allExplicit && !explicit["p"] {
+			*p = explicitRanks
 		}
 		if hostList, err = spmd.AssignHostRanks(hostList, *p); err != nil {
 			fatal(err)
@@ -198,7 +221,7 @@ func main() {
 	// otherwise. Output is byte-identical across all three.
 	switch {
 	case !*asyncEx:
-		if replyChunkSet && *replyChunk > 0 {
+		if explicit["reply-chunk"] && *replyChunk > 0 {
 			usageError("-reply-chunk streams over non-blocking exchanges; drop it or re-enable -async-exchange")
 		}
 		cfg.Exchange = pipeline.ExchangeSync
@@ -220,44 +243,42 @@ func main() {
 		fatal(fmt.Errorf("unknown -seed-mode %q", *seedMode))
 	}
 
+	params := &runParams{
+		In: *in, Platform: *platform, Nodes: *nodes,
+		CkptDir: *ckptDir, CkptEvery: *ckptEvery, CkptAbortAfter: *ckptAbort,
+		Resume: *resume, Cfg: cfg,
+	}
+	// Checkpoint flag validation (stage-name typos) should beat forking.
+	if _, err := params.ckptOptions(); err != nil {
+		usageError("%v", err)
+	}
+	// An env-contract worker whose parent shipped the launcher's config (a
+	// join agent's forked rank) adopts it wholesale: its own command line
+	// is the agent's, possibly just `-join <addr>`.
+	if blob, ok, err := spmd.ConfigFromEnv(); err != nil {
+		fatal(err)
+	} else if ok {
+		adopted, err := decodeRunParams(blob)
+		if err != nil {
+			fatal(err)
+		}
+		params = adopted
+	}
 	// Resolve the platform early (flag errors should beat any forking);
 	// the model itself is shaped per world size, which TCP processes may
 	// only learn at world formation (join agents), so it is built later.
-	var plat *machine.Platform
-	if *platform != "" {
-		pv, err := machine.PlatformByName(*platform)
-		if err != nil {
-			fatal(err)
-		}
-		plat = &pv
+	if _, err := params.platform(); err != nil {
+		fatal(err)
 	}
 
 	if *transport == "mem" {
-		var mdl *machine.Model
-		if plat != nil {
-			var err error
-			if mdl, err = machine.NewModelScaled(*plat, *nodes, *p); err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "modeling %s, %d nodes (%d ranks) with %d mem ranks\n",
-				plat.Name, *nodes, mdl.RealRanks(), *p)
-		}
-		reads, err := fastq.ReadFile(*in)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "loaded %s: %s\n", *in, fastq.Summarize(reads))
-		rep, err := pipeline.Execute(*p, mdl, reads, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		writeOutput(rep, rep.PAFRecords(reads), *out, *showBrk)
+		runMem(params, *p, *out, *showBrk)
 		return
 	}
 
 	// TCP path: pick the bootstrap that matches how this process was
 	// started, form the world, and run the pipeline with cooperative
-	// sharded loading.
+	// sharded loading (or snapshot loading under -resume).
 	var boot spmd.Bootstrap
 	switch {
 	case isWorker:
@@ -266,18 +287,91 @@ func main() {
 	case joinAddr != "":
 		boot = &spmd.HostJoinBootstrap{Addr: joinAddr, HostIndex: hostIndex, Timeout: *formTimeout}
 	case hostList != nil:
-		boot = &spmd.HostListBootstrap{Hosts: hostList, Timeout: *formTimeout}
+		blob, err := params.encode()
+		if err != nil {
+			fatal(err)
+		}
+		boot = &spmd.HostListBootstrap{Hosts: hostList, Timeout: *formTimeout, ConfigBlob: blob}
 	default:
 		boot = &spmd.ForkBootstrap{Size: *p, Timeout: *formTimeout}
 	}
-	rep, store, rank, err := runTCP(boot, plat, *nodes, *in, cfg)
+	rep, store, rank, err := runTCP(boot, params, explicit)
 	if err != nil {
-		fatal(err)
+		fatalRun(err)
 	}
 	if rank != 0 {
 		return // workers and join agents: rank 0 owns all output
 	}
 	writeOutput(rep, rep.PAFRecordsFromStore(store), *out, *showBrk)
+}
+
+// platform resolves the params' modeled platform (nil when unset).
+func (p *runParams) platform() (*machine.Platform, error) {
+	if p.Platform == "" {
+		return nil, nil
+	}
+	pv, err := machine.PlatformByName(p.Platform)
+	if err != nil {
+		return nil, err
+	}
+	return &pv, nil
+}
+
+// model builds the platform model shaped for a world of size ranks (nil
+// when no platform was requested).
+func (p *runParams) model(ranks int, announce bool) (*machine.Model, error) {
+	plat, err := p.platform()
+	if err != nil {
+		return nil, err
+	}
+	if plat == nil {
+		return nil, nil
+	}
+	mdl, err := machine.NewModelScaled(*plat, p.Nodes, ranks)
+	if err != nil {
+		return nil, err
+	}
+	if announce {
+		fmt.Fprintf(os.Stderr, "modeling %s, %d nodes (%d ranks) with %d ranks\n",
+			plat.Name, p.Nodes, mdl.RealRanks(), ranks)
+	}
+	return mdl, nil
+}
+
+// runMem executes the run on p in-process goroutine ranks.
+func runMem(params *runParams, p int, outPath string, showBrk bool) {
+	mdl, err := params.model(p, true)
+	if err != nil {
+		fatal(err)
+	}
+	ckOpts, err := params.ckptOptions()
+	if err != nil {
+		fatal(err)
+	}
+	if params.Resume != "" {
+		rep, store, err := pipeline.ExecuteResume(p, mdl, params.Resume, params.scheduleMutator(), ckOpts)
+		if err != nil {
+			fatalRun(err)
+		}
+		fmt.Fprintf(os.Stderr, "resumed %s: %s\n", params.Resume, store.Stats())
+		writeOutput(rep, rep.PAFRecordsFromStore(store), outPath, showBrk)
+		return
+	}
+	reads, err := fastq.ReadFile(params.In)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s: %s\n", params.In, fastq.Summarize(reads))
+	var rep *pipeline.Report
+	if ckOpts != nil {
+		rep, err = pipeline.ExecuteCkpt(p, mdl, reads, params.Cfg, *ckOpts)
+	} else {
+		rep, err = pipeline.Execute(p, mdl, reads, params.Cfg)
+	}
+	if err != nil {
+		fatalRun(err)
+	}
+	writeOutput(rep, rep.PAFRecords(reads), outPath, showBrk)
 }
 
 // pickTimeout prefers the env-propagated formation deadline over the
@@ -289,33 +383,53 @@ func pickTimeout(env, flag time.Duration) time.Duration {
 	return flag
 }
 
-// runTCP forms this process's world endpoint via the bootstrap, runs the
-// pipeline collectively over it with cooperative sharded input loading,
-// and reaps whatever the bootstrap forked. rank is this process's rank in
-// the world (-1 if formation failed). The platform model is shaped to the
-// formed world's size — a join agent or env worker learns that size only
-// here, not from its own flags.
-func runTCP(boot spmd.Bootstrap, plat *machine.Platform, nodes int, path string,
-	cfg pipeline.Config) (*pipeline.Report, *fastq.ReadStore, int, error) {
+// runTCP forms this process's world endpoint via the bootstrap, adopts
+// the launcher's shipped configuration when one arrived in the
+// formation handshake (join agents; explicit conflicting flags fail
+// here), runs the pipeline collectively with cooperative sharded input
+// loading — or snapshot loading under -resume — and reaps whatever the
+// bootstrap forked. rank is this process's rank in the world (-1 if
+// formation failed). The platform model is shaped to the formed world's
+// size — a join agent or env worker learns that size only here, not
+// from its own flags.
+func runTCP(boot spmd.Bootstrap, params *runParams, explicit map[string]bool) (
+	*pipeline.Report, *fastq.ReadStore, int, error) {
 
 	tr, err := spmd.Connect(boot)
 	if err != nil {
 		return nil, nil, -1, boot.Finish(err)
 	}
 	rank := tr.Rank()
-	var mdl *machine.Model
-	if plat != nil {
-		if mdl, err = machine.NewModelScaled(*plat, nodes, tr.Size()); err != nil {
-			// Deterministic in (platform, nodes, size), so every rank
-			// fails identically; abort just backstops a partial world.
-			tr.Abort()
-			tr.Close()
-			return nil, nil, rank, boot.Finish(err)
+	bail := func(err error) (*pipeline.Report, *fastq.ReadStore, int, error) {
+		tr.Abort()
+		tr.Close()
+		return nil, nil, rank, boot.Finish(err)
+	}
+	// Config shipping: a join agent receives the launcher's resolved
+	// configuration with its rank assignment. Explicit flags on the join
+	// command line must agree with it — a silently divergent rank would
+	// corrupt the collective run.
+	if hjb, ok := boot.(*spmd.HostJoinBootstrap); ok && len(hjb.ReceivedConfig) > 0 {
+		shipped, err := decodeRunParams(hjb.ReceivedConfig)
+		if err != nil {
+			return bail(err)
 		}
-		if rank == 0 {
-			fmt.Fprintf(os.Stderr, "modeling %s, %d nodes (%d ranks) with %d tcp ranks\n",
-				plat.Name, nodes, mdl.RealRanks(), tr.Size())
+		if conflicts := configFlagConflicts(explicit, params, shipped); len(conflicts) > 0 {
+			err := fmt.Errorf("join flags conflict with the launcher's configuration (drop them or make them match):\n  %s",
+				strings.Join(conflicts, "\n  "))
+			return bail(err)
 		}
+		params = shipped
+	}
+	mdl, err := params.model(tr.Size(), rank == 0)
+	if err != nil {
+		// Deterministic in (platform, nodes, size), so every rank fails
+		// identically; abort just backstops a partial world.
+		return bail(err)
+	}
+	ckOpts, err := params.ckptOptions()
+	if err != nil {
+		return bail(err)
 	}
 	var comm spmd.CommModel
 	if mdl != nil {
@@ -324,16 +438,32 @@ func runTCP(boot spmd.Bootstrap, plat *machine.Platform, nodes int, path string,
 	var rep *pipeline.Report
 	var store *fastq.ReadStore
 	runErr := spmd.RunTransport(tr, comm, func(c *spmd.Comm) error {
-		s, err := pipeline.LoadStore(c, path)
+		if params.Resume != "" {
+			r, s, err := pipeline.ResumeComm(c, mdl, params.Resume, params.scheduleMutator(), ckOpts)
+			if err != nil {
+				return err
+			}
+			rep, store = r, s
+			if c.Rank() == 0 {
+				fmt.Fprintf(os.Stderr, "resumed %s: %s\n", params.Resume, s.Stats())
+			}
+			return nil
+		}
+		s, err := pipeline.LoadStore(c, params.In)
 		if err != nil {
 			return err
 		}
 		store = s
 		if c.Rank() == 0 {
 			fmt.Fprintf(os.Stderr, "loaded %s cooperatively: %s (rank 0 parsed %d bytes)\n",
-				path, s.Stats(), s.ParsedBytes)
+				params.In, s.Stats(), s.ParsedBytes)
 		}
-		r, err := pipeline.ExecuteComm(c, mdl, s, cfg)
+		var r *pipeline.Report
+		if ckOpts != nil {
+			r, err = pipeline.ExecuteCommCkpt(c, mdl, s, params.Cfg, *ckOpts)
+		} else {
+			r, err = pipeline.ExecuteComm(c, mdl, s, params.Cfg)
+		}
 		rep = r
 		return err
 	})
@@ -386,6 +516,17 @@ func printBreakdown(rep *pipeline.Report) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dibella:", err)
+	os.Exit(1)
+}
+
+// fatalRun reports a pipeline failure, distinguishing the deliberate
+// post-checkpoint abort (exit 3, so restart drills can assert on it)
+// from real errors (exit 1).
+func fatalRun(err error) {
+	fmt.Fprintln(os.Stderr, "dibella:", err)
+	if errors.Is(err, pipeline.ErrCkptAbort) {
+		os.Exit(3)
+	}
 	os.Exit(1)
 }
 

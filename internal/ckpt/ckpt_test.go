@@ -1,0 +1,339 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dibella/internal/spmd"
+)
+
+func TestSegmentCodecRoundtrip(t *testing.T) {
+	hdr := SegmentHeader{Stage: StageDHT, Epoch: 7, World: 4, Rank: 2}
+	sections := []Section{
+		{Name: "reads", Data: []byte("read-bytes")},
+		{Name: "dht", Data: bytes.Repeat([]byte{0xAB}, 1000)},
+		{Name: "empty", Data: nil},
+	}
+	img, err := encodeSegment(hdr, sections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHdr, gotSecs, err := decodeSegment(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHdr != hdr {
+		t.Errorf("header %+v, want %+v", gotHdr, hdr)
+	}
+	if len(gotSecs) != len(sections) {
+		t.Fatalf("%d sections", len(gotSecs))
+	}
+	for i := range sections {
+		if gotSecs[i].Name != sections[i].Name || !bytes.Equal(gotSecs[i].Data, sections[i].Data) {
+			t.Errorf("section %d mismatch", i)
+		}
+	}
+	if _, err := SectionByName(gotSecs, "dht"); err != nil {
+		t.Error(err)
+	}
+	if _, err := SectionByName(gotSecs, "nope"); err == nil {
+		t.Error("missing section not reported")
+	}
+}
+
+func TestSegmentCodecRejectsCorruption(t *testing.T) {
+	img, err := encodeSegment(SegmentHeader{Stage: StageLoad, Epoch: 1, World: 1, Rank: 0},
+		[]Section{{Name: "reads", Data: []byte("0123456789")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 4, 8, 20, len(img) - 1} {
+		if cut >= len(img) {
+			continue
+		}
+		if _, _, err := decodeSegment(img[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), img...)
+	bad[0] ^= 0xFF
+	if _, _, err := decodeSegment(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("foreign magic: %v", err)
+	}
+}
+
+// snapshotWorld commits the given stages over a p-rank in-process world,
+// with per-rank sections derived from rank and stage.
+func snapshotWorld(t *testing.T, dir string, w func(rank int) *Writer, p int, stages []string) {
+	t.Helper()
+	err := spmd.Run(p, func(c *spmd.Comm) error {
+		wr := w(c.Rank())
+		for _, stage := range stages {
+			data := []byte(stage + "-rank-" + string(rune('0'+c.Rank())))
+			if _, err := wr.Snapshot(c, stage, []Section{{Name: "payload", Data: data}}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterCommitAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	const p = 3
+	writers := make([]*Writer, p)
+	for r := range writers {
+		writers[r] = &Writer{Dir: dir, ConfigHash: "abc", ConfigJSON: []byte(`{"k":17}`)}
+	}
+	snapshotWorld(t, dir, func(r int) *Writer { return writers[r] }, p, []string{StageLoad, StageDHT})
+
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg struct {
+		K int `json:"k"`
+	}
+	if err := json.Unmarshal(m.ConfigJSON, &cfg); err != nil || m.ConfigHash != "abc" || cfg.K != 17 {
+		t.Errorf("manifest config: hash %q json %q (%v)", m.ConfigHash, m.ConfigJSON, err)
+	}
+	latest, ok := m.Latest()
+	if !ok || latest.Stage != StageDHT || latest.World != p {
+		t.Fatalf("latest = %+v ok=%v", latest, ok)
+	}
+	if latest.Epoch <= m.Stages[StageLoad].Epoch {
+		t.Error("epochs not monotone across stages")
+	}
+	for r := 0; r < p; r++ {
+		secs, err := ReadSegment(dir, &latest, &latest.Segments[r])
+		if err != nil {
+			t.Fatalf("rank %d segment: %v", r, err)
+		}
+		data, err := SectionByName(secs, "payload")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "dht-rank-" + string(rune('0'+r))
+		if string(data) != want {
+			t.Errorf("rank %d payload %q, want %q", r, data, want)
+		}
+	}
+}
+
+func TestReadSegmentRejectsTamperedFile(t *testing.T) {
+	dir := t.TempDir()
+	wr := &Writer{Dir: dir, ConfigHash: "h"}
+	snapshotWorld(t, dir, func(int) *Writer { return wr }, 1, []string{StageLoad})
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stages[StageLoad]
+	path := filepath.Join(dir, st.Segments[0].File)
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncation: clear "truncated or partial" error.
+	if err := os.WriteFile(path, img[:len(img)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSegment(dir, &st, &st.Segments[0]); err == nil || !strings.Contains(err.Error(), "truncated or partial") {
+		t.Errorf("truncated segment: %v", err)
+	}
+	// Bit flip at same length: digest mismatch.
+	flipped := append([]byte(nil), img...)
+	flipped[len(flipped)-1] ^= 0x01
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSegment(dir, &st, &st.Segments[0]); err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Errorf("corrupt segment: %v", err)
+	}
+}
+
+func TestWriterVetoLeavesPreviousSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	const p = 2
+	writers := make([]*Writer, p)
+	for r := range writers {
+		writers[r] = &Writer{Dir: dir, ConfigHash: "h"}
+	}
+	snapshotWorld(t, dir, func(r int) *Writer { return writers[r] }, p, []string{StageLoad})
+
+	// Second epoch: rank 1's segment write fails (its stage path is
+	// occupied by a directory), so the epoch must abort on every rank and
+	// the manifest must still describe only the first snapshot.
+	blocked := filepath.Join(dir, SegmentFile(StageDHT, 1, 2))
+	if err := os.MkdirAll(blocked, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, p)
+	err := spmd.Run(p, func(c *spmd.Comm) error {
+		_, err := writers[c.Rank()].Snapshot(c, StageDHT, []Section{{Name: "payload", Data: []byte("x")}})
+		errs[c.Rank()] = err
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "rank 1") {
+			t.Errorf("rank %d: %v, want veto naming rank 1", r, err)
+		}
+	}
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, exists := m.Stages[StageDHT]; exists {
+		t.Error("vetoed stage appears in the manifest")
+	}
+	if _, ok := m.Stages[StageLoad]; !ok {
+		t.Error("previous snapshot lost")
+	}
+}
+
+// TestWriterVetoedResnapshotKeepsLatestStage: a vetoed re-snapshot of
+// the stage the manifest's latest snapshot lives in must leave that
+// snapshot fully loadable — epoch-suffixed segment names keep the new
+// epoch's writes away from the files the manifest references.
+func TestWriterVetoedResnapshotKeepsLatestStage(t *testing.T) {
+	dir := t.TempDir()
+	w1 := &Writer{Dir: dir, ConfigHash: "h"}
+	snapshotWorld(t, dir, func(int) *Writer { return w1 }, 1, []string{StageLoad})
+
+	// A second run re-snapshots the same stage (epoch 2) and is vetoed:
+	// the segment write fails because its (epoch-suffixed) path is
+	// occupied by a directory.
+	if err := os.MkdirAll(filepath.Join(dir, SegmentFile(StageLoad, 0, 2)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	w2 := &Writer{Dir: dir, ConfigHash: "h"}
+	var snapErr error
+	err := spmd.Run(1, func(c *spmd.Comm) error {
+		_, snapErr = w2.Snapshot(c, StageLoad, []Section{{Name: "payload", Data: []byte("new")}})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapErr == nil {
+		t.Fatal("blocked re-snapshot committed")
+	}
+	// The previous snapshot must still load, bytes and digest intact.
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := m.Latest()
+	if !ok || st.Stage != StageLoad || st.Epoch != 1 {
+		t.Fatalf("latest = %+v ok=%v, want epoch-1 load snapshot", st, ok)
+	}
+	secs, err := ReadSegment(dir, &st, &st.Segments[0])
+	if err != nil {
+		t.Fatalf("previous snapshot unreadable after vetoed re-snapshot: %v", err)
+	}
+	if data, _ := SectionByName(secs, "payload"); string(data) != StageLoad+"-rank-0" {
+		t.Errorf("previous snapshot's payload clobbered: %q", data)
+	}
+}
+
+// TestWriterGCsSupersededSegments: committing a stage removes only the
+// files of the epoch it replaced, after the new manifest is durable.
+func TestWriterGCsSupersededSegments(t *testing.T) {
+	dir := t.TempDir()
+	w1 := &Writer{Dir: dir, ConfigHash: "h"}
+	snapshotWorld(t, dir, func(int) *Writer { return w1 }, 1, []string{StageLoad})
+	old := filepath.Join(dir, SegmentFile(StageLoad, 0, 1))
+	if _, err := os.Stat(old); err != nil {
+		t.Fatal(err)
+	}
+	w2 := &Writer{Dir: dir, ConfigHash: "h"}
+	snapshotWorld(t, dir, func(int) *Writer { return w2 }, 1, []string{StageLoad})
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Errorf("superseded epoch-1 segment still present: %v", err)
+	}
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stages[StageLoad]
+	if st.Epoch != 2 {
+		t.Fatalf("epoch = %d", st.Epoch)
+	}
+	if _, err := ReadSegment(dir, &st, &st.Segments[0]); err != nil {
+		t.Errorf("replacing snapshot unreadable: %v", err)
+	}
+}
+
+func TestWriterLineage(t *testing.T) {
+	dir := t.TempDir()
+	w1 := &Writer{Dir: dir, ConfigHash: "cfg1"}
+	snapshotWorld(t, dir, func(int) *Writer { return w1 }, 1, []string{StageLoad, StageDHT, StageOverlap})
+
+	// A resumed run (same config, resumed from dht) keeps load+dht,
+	// drops overlap on its first commit.
+	w2 := &Writer{Dir: dir, ConfigHash: "cfg1", KeepThrough: StageDHT}
+	snapshotWorld(t, dir, func(int) *Writer { return w2 }, 1, []string{StageOverlap})
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Stages) != 3 {
+		t.Errorf("resumed lineage has %d stages, want 3", len(m.Stages))
+	}
+	if m.Stages[StageOverlap].Epoch <= m.Stages[StageDHT].Epoch {
+		t.Error("re-written overlap stage did not advance the epoch")
+	}
+
+	// A run with a different config starts an empty lineage.
+	w3 := &Writer{Dir: dir, ConfigHash: "cfg2", KeepThrough: StageOverlap}
+	snapshotWorld(t, dir, func(int) *Writer { return w3 }, 1, []string{StageLoad})
+	m, err = ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Stages) != 1 || m.ConfigHash != "cfg2" {
+		t.Errorf("config change kept %d stages (hash %s)", len(m.Stages), m.ConfigHash)
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	if err := os.WriteFile(ManifestPath(dir), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+	bad := &Manifest{Version: manifestVersion, Stages: map[string]StageInfo{
+		"dht": {Stage: "dht", World: 2, Segments: []SegmentInfo{{Rank: 0}}},
+	}}
+	if err := writeManifest(dir, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("segment/world mismatch accepted")
+	}
+}
+
+func TestHashConfigStable(t *testing.T) {
+	a, b := HashConfig([]byte(`{"k":17}`)), HashConfig([]byte(`{"k":17}`))
+	if a != b || a == "" {
+		t.Errorf("hash unstable: %q %q", a, b)
+	}
+	if HashConfig([]byte(`{"k":19}`)) == a {
+		t.Error("different configs hash equal")
+	}
+}

@@ -1,0 +1,133 @@
+package dht
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dibella/internal/kmer"
+	"dibella/internal/spmd"
+)
+
+// buildTestPartition fills a partition with synthetic entries.
+func buildTestPartition(k, maxFreq, entries int, salt uint64) *Partition {
+	p := &Partition{K: k, MaxFreq: maxFreq, Table: make(map[kmer.Kmer]*Entry)}
+	for i := 0; i < entries; i++ {
+		km := kmer.Kmer(uint64(i)*0x9e3779b97f4a7c15 + salt)
+		e := &Entry{Count: int32(2 + i%5)}
+		for j := 0; j <= i%4; j++ {
+			e.Occs = append(e.Occs, MakeOcc(uint32(i+j), uint32(j*100), j%2 == 0))
+		}
+		p.Table[km] = e
+	}
+	return p
+}
+
+func TestPartitionCodecRoundtrip(t *testing.T) {
+	p := buildTestPartition(17, 8, 37, 3)
+	blob := p.Encode()
+	back, err := DecodePartition(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != p.K || back.MaxFreq != p.MaxFreq {
+		t.Errorf("header K=%d MaxFreq=%d", back.K, back.MaxFreq)
+	}
+	if !reflect.DeepEqual(tableOf(p), tableOf(back)) {
+		t.Error("entries did not round-trip")
+	}
+	if !bytes.Equal(blob, p.Encode()) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+// tableOf flattens a partition into a comparable map.
+func tableOf(p *Partition) map[kmer.Kmer]Entry {
+	out := make(map[kmer.Kmer]Entry, len(p.Table))
+	for km, e := range p.Table {
+		out[km] = Entry{Count: e.Count, Occs: append([]Occ(nil), e.Occs...)}
+	}
+	return out
+}
+
+func TestPartitionCodecRejectsCorruption(t *testing.T) {
+	blob := buildTestPartition(17, 8, 5, 1).Encode()
+	for _, cut := range []int{0, 8, 17, len(blob) - 3} {
+		if _, err := DecodePartition(blob[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, err := DecodePartition(append(append([]byte(nil), blob...), 1, 2, 3)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+// TestReshardMatchesOwnership re-homes a 3-rank partition set onto worlds
+// of several sizes and checks every entry lands on its hash owner with
+// its occurrence list intact, and that the global entry set is preserved.
+func TestReshardMatchesOwnership(t *testing.T) {
+	// The "old world": three partitions, keyed so each holds only k-mers
+	// it would own at P=3 (as a real build produces).
+	const oldP = 3
+	oldParts := make([]*Partition, oldP)
+	global := make(map[kmer.Kmer]Entry)
+	for r := range oldParts {
+		oldParts[r] = &Partition{K: 17, MaxFreq: 8, Table: make(map[kmer.Kmer]*Entry)}
+	}
+	src := buildTestPartition(17, 8, 200, 11)
+	for km, e := range src.Table {
+		oldParts[km.Owner(oldP)].Table[km] = e
+		global[km] = Entry{Count: e.Count, Occs: append([]Occ(nil), e.Occs...)}
+	}
+
+	for _, newP := range []int{1, 2, 3, 5} {
+		got := make([]*Partition, newP)
+		err := spmd.Run(newP, func(c *spmd.Comm) error {
+			// Contiguous assignment of old segments to new ranks, as the
+			// resume loader uses.
+			hold := &Partition{K: 17, MaxFreq: 8, Table: make(map[kmer.Kmer]*Entry)}
+			lo, hi := c.Rank()*oldP/newP, (c.Rank()+1)*oldP/newP
+			for s := lo; s < hi; s++ {
+				for km, e := range oldParts[s].Table {
+					hold.Table[km] = e
+				}
+			}
+			out, err := Reshard(c, hold)
+			if err != nil {
+				return err
+			}
+			got[c.Rank()] = out
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("newP=%d: %v", newP, err)
+		}
+		merged := make(map[kmer.Kmer]Entry)
+		for r, p := range got {
+			for km, e := range p.Table {
+				if km.Owner(newP) != r {
+					t.Errorf("newP=%d: k-mer %#x on rank %d, owner %d", newP, uint64(km), r, km.Owner(newP))
+				}
+				merged[km] = Entry{Count: e.Count, Occs: append([]Occ(nil), e.Occs...)}
+			}
+		}
+		if !reflect.DeepEqual(global, merged) {
+			t.Errorf("newP=%d: resharded entry set diverged (%d vs %d entries)", newP, len(merged), len(global))
+		}
+	}
+}
+
+// TestReshardRejectsDuplicates: overlapping segment assignments (the same
+// old segment loaded by two new ranks) must fail loudly, not silently
+// double entries.
+func TestReshardRejectsDuplicates(t *testing.T) {
+	part := buildTestPartition(17, 8, 10, 2)
+	err := spmd.Run(2, func(c *spmd.Comm) error {
+		// Both ranks contribute the same entries.
+		_, err := Reshard(c, part)
+		return err
+	})
+	if err == nil {
+		t.Fatal("duplicate contributions accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package fastq
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestShardSegmentRoundtrip(t *testing.T) {
+	recs := []*Record{
+		{Name: "read/1", Seq: []byte("ACGTACGT")},
+		{Name: "read/2", Seq: []byte("GG")},
+		{Name: "empty", Seq: nil},
+	}
+	blob := EncodeShardSegment(42, recs)
+	idStart, back, err := DecodeShardSegment(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idStart != 42 || len(back) != len(recs) {
+		t.Fatalf("idStart=%d n=%d", idStart, len(back))
+	}
+	for i := range recs {
+		if back[i].Name != recs[i].Name || !bytes.Equal(back[i].Seq, recs[i].Seq) {
+			t.Errorf("record %d: %q/%q vs %q/%q", i, back[i].Name, back[i].Seq, recs[i].Name, recs[i].Seq)
+		}
+	}
+	// Determinism: two encodes of the same run are byte-identical.
+	if !bytes.Equal(blob, EncodeShardSegment(42, recs)) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestShardSegmentRejectsCorruption(t *testing.T) {
+	blob := EncodeShardSegment(0, []*Record{{Name: "a", Seq: []byte("ACGTACGTACGT")}})
+	for _, cut := range []int{1, 7, 9, len(blob) - 1} {
+		if _, _, err := DecodeShardSegment(blob[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, _, err := DecodeShardSegment(append(append([]byte(nil), blob...), 0xFF)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, _, err := DecodeShardSegment(nil); err == nil {
+		t.Error("empty blob accepted")
+	}
+}
+
+func TestShardSegmentEmpty(t *testing.T) {
+	idStart, recs, err := DecodeShardSegment(EncodeShardSegment(7, nil))
+	if err != nil || idStart != 7 || len(recs) != 0 {
+		t.Errorf("idStart=%d recs=%v err=%v", idStart, recs, err)
+	}
+}

@@ -9,6 +9,7 @@ package figures
 
 import (
 	"fmt"
+	"os"
 
 	"dibella/internal/machine"
 	"dibella/internal/pipeline"
@@ -50,7 +51,10 @@ type DepthPoint struct {
 // BenchResult is the full snapshot: the same workload under the
 // bulk-synchronous, the non-blocking round-pipelined, and the streamed
 // chunked-reply schedules, modeled as a Cori job, plus a pipelining-depth
-// sweep of the streamed reply (the ROADMAP's depth>2 question).
+// sweep of the streamed reply (the ROADMAP's depth>2 question) and a
+// checkpoint-enabled run (streamed schedule + snapshots at every stage
+// boundary, the snapshot I/O priced by the machine model) so the
+// checkpoint overhead is visible in the perf trajectory.
 type BenchResult struct {
 	Workload        string       `json:"workload"`
 	Platform        string       `json:"platform"`
@@ -62,6 +66,8 @@ type BenchResult struct {
 	Sync            BenchRun     `json:"sync"`
 	Async           BenchRun     `json:"async"`
 	Streamed        BenchRun     `json:"streamed"`
+	Ckpt            BenchRun     `json:"ckpt"`
+	CkptOverhead    float64      `json:"ckpt_overhead_fraction"`
 	SpeedupModel    float64      `json:"modeled_speedup_async_over_sync"`
 	SpeedupStreamed float64      `json:"modeled_speedup_streamed_over_sync"`
 	SweepChunkBytes int          `json:"sweep_chunk_bytes"`
@@ -80,7 +86,7 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 	}
 	const nodes = 8
 	p := o.simRanks(nodes)
-	run := func(mode pipeline.ExchangeMode, chunk, depth int) (BenchRun, error) {
+	run := func(mode pipeline.ExchangeMode, chunk, depth int, ck *pipeline.CkptOptions) (BenchRun, error) {
 		mdl, err := machine.NewModelScaled(machine.Cori, nodes, p)
 		if err != nil {
 			return BenchRun{}, err
@@ -92,11 +98,16 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 		// in-flight exchanges to hide (one monolithic round would leave
 		// the Bloom/hash passes nothing to overlap).
 		cfg.MaxKmersPerRound = 1 << 16
-		rep, err := pipeline.Execute(p, mdl, reads, cfg)
+		var rep *pipeline.Report
+		if ck != nil {
+			rep, err = pipeline.ExecuteCkpt(p, mdl, reads, cfg, *ck)
+		} else {
+			rep, err = pipeline.Execute(p, mdl, reads, cfg)
+		}
 		if err != nil {
 			return BenchRun{}, err
 		}
-		o.logf("bench exchange=%v chunk=%d depth=%d: %s", mode, chunk, depth, rep.Summary())
+		o.logf("bench exchange=%v chunk=%d depth=%d ckpt=%v: %s", mode, chunk, depth, ck != nil, rep.Summary())
 		bh := rep.StageVirtual(pipeline.StageBloom) + rep.StageVirtual(pipeline.StageHash)
 		br := BenchRun{
 			WallSeconds:      rep.WallTime.Seconds(),
@@ -114,24 +125,37 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 		}
 		return br, nil
 	}
-	syncRun, err := run(pipeline.ExchangeSync, 0, 0)
+	syncRun, err := run(pipeline.ExchangeSync, 0, 0, nil)
 	if err != nil {
 		return nil, fmt.Errorf("figures: sync bench: %w", err)
 	}
-	asyncRun, err := run(pipeline.ExchangeAsync, 0, 0)
+	asyncRun, err := run(pipeline.ExchangeAsync, 0, 0, nil)
 	if err != nil {
 		return nil, fmt.Errorf("figures: async bench: %w", err)
 	}
-	streamRun, err := run(pipeline.ExchangeStreamed, benchReplyChunk, benchReplyDepth)
+	streamRun, err := run(pipeline.ExchangeStreamed, benchReplyChunk, benchReplyDepth, nil)
 	if err != nil {
 		return nil, fmt.Errorf("figures: streamed bench: %w", err)
+	}
+	// The checkpointed run: the streamed schedule plus snapshots at every
+	// stage boundary, written to a scratch directory and priced by the
+	// machine model — the bench's record of what durability costs.
+	ckDir, err := os.MkdirTemp("", "dibella-bench-ckpt-")
+	if err != nil {
+		return nil, fmt.Errorf("figures: ckpt bench scratch dir: %w", err)
+	}
+	defer os.RemoveAll(ckDir)
+	ckptRun, err := run(pipeline.ExchangeStreamed, benchReplyChunk, benchReplyDepth,
+		&pipeline.CkptOptions{Dir: ckDir})
+	if err != nil {
+		return nil, fmt.Errorf("figures: ckpt bench: %w", err)
 	}
 	res := &BenchResult{
 		Workload: fmt.Sprintf("E. coli 30x one-seed, scale %g, seed %d", o.Scale, o.Seed),
 		Platform: machine.Cori.Name, Nodes: nodes, SimRanks: p,
 		Reads:           len(reads),
 		ReplyChunkBytes: benchReplyChunk, ReplyDepth: benchReplyDepth,
-		Sync: syncRun, Async: asyncRun, Streamed: streamRun,
+		Sync: syncRun, Async: asyncRun, Streamed: streamRun, Ckpt: ckptRun,
 		SweepChunkBytes: benchSweepChunk,
 	}
 	if asyncRun.VirtualSeconds > 0 {
@@ -139,9 +163,10 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 	}
 	if streamRun.VirtualSeconds > 0 {
 		res.SpeedupStreamed = syncRun.VirtualSeconds / streamRun.VirtualSeconds
+		res.CkptOverhead = ckptRun.VirtualSeconds/streamRun.VirtualSeconds - 1
 	}
 	for _, depth := range []int{1, 2, 4, spmd.MaxStreamDepth} {
-		dr, err := run(pipeline.ExchangeStreamed, benchSweepChunk, depth)
+		dr, err := run(pipeline.ExchangeStreamed, benchSweepChunk, depth, nil)
 		if err != nil {
 			return nil, fmt.Errorf("figures: streamed depth-%d bench: %w", depth, err)
 		}

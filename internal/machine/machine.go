@@ -70,6 +70,12 @@ type Platform struct {
 	// 1-rank-per-node breakdown runs (Figs. 9-10), where one process
 	// cannot saturate the NIC.
 	BWRankCap float64
+	// CkptBW is the effective per-node checkpoint write bandwidth to the
+	// machine's parallel file system (bytes/s), shared by the node's ranks
+	// when a stage-boundary snapshot is written collectively. Lustre-class
+	// file systems sustain on the order of 1 GB/s per client node; AWS's
+	// EBS-backed cluster far less. 0 falls back to a conservative default.
+	CkptBW float64
 	// FirstCallFactor multiplies the cost of the very first Alltoallv —
 	// MPI's internal setup of communication buffers and per-peer state.
 	// The paper measures the first call at ~2x the second (§10) and Fig. 9
@@ -99,7 +105,7 @@ var (
 		LLCBytes: 80e6, MemBytes: 128e9,
 		IntraLat: 2.7e-6, InterLat: 2.7e-6,
 		PeerOverhead: 3.5e-6, IntraPeerOverhead: 2e-6,
-		BWNode: 2.0e9, BWIntra: 6e9, BWRankCap: 65e6,
+		BWNode: 2.0e9, BWIntra: 6e9, BWRankCap: 65e6, CkptBW: 1.5e9,
 		FirstCallFactor: 4.0, CacheBoost: 1.3,
 	}
 	Edison = Platform{
@@ -107,7 +113,7 @@ var (
 		LLCBytes: 60e6, MemBytes: 64e9,
 		IntraLat: 0.8e-6, InterLat: 0.8e-6,
 		PeerOverhead: 5e-6, IntraPeerOverhead: 1.5e-6,
-		BWNode: 1.2e9, BWIntra: 5e9, BWRankCap: 80e6,
+		BWNode: 1.2e9, BWIntra: 5e9, BWRankCap: 80e6, CkptBW: 1.0e9,
 		FirstCallFactor: 3.5, CacheBoost: 1.3,
 	}
 	Titan = Platform{
@@ -115,7 +121,7 @@ var (
 		LLCBytes: 16e6, MemBytes: 32e9,
 		IntraLat: 1.1e-6, InterLat: 1.1e-6,
 		PeerOverhead: 8e-6, IntraPeerOverhead: 2e-6,
-		BWNode: 0.5e9, BWIntra: 3e9, BWRankCap: 60e6,
+		BWNode: 0.5e9, BWIntra: 3e9, BWRankCap: 60e6, CkptBW: 0.8e9,
 		FirstCallFactor: 3.0, CacheBoost: 1.2,
 	}
 	AWS = Platform{
@@ -123,7 +129,7 @@ var (
 		LLCBytes: 50e6, MemBytes: 60e9,
 		IntraLat: 3.0e-6, InterLat: 35e-6,
 		PeerOverhead: 30e-6, IntraPeerOverhead: 4e-6,
-		BWNode: 0.3e9, BWIntra: 2e9, BWRankCap: 40e6,
+		BWNode: 0.3e9, BWIntra: 2e9, BWRankCap: 40e6, CkptBW: 0.2e9,
 		FirstCallFactor: 5.0, CacheBoost: 1.25,
 	}
 )
@@ -314,6 +320,33 @@ func (m *Model) StreamChunkTime(callIdx int64, maxChunkBytes float64) float64 {
 // the posting rank real (unhideable) clock time.
 func (m *Model) ChunkPostTime() float64 {
 	return m.peerLatency() * streamChunkFraction * iPostFraction
+}
+
+const (
+	// ckptLatency is the fixed per-segment cost of one rank's checkpoint
+	// write: file create, metadata commit, and fsync round-trip on a
+	// parallel file system (milliseconds in practice).
+	ckptLatency = 2e-3
+	// defaultCkptBW stands in for platforms that don't specify a
+	// checkpoint bandwidth.
+	defaultCkptBW = 500e6
+)
+
+// SnapshotTime prices one rank's stage-boundary checkpoint write of the
+// given payload (counted on one simulation rank): fixed per-segment
+// latency plus the bytes through the rank's share of the node's parallel
+// file system bandwidth. Charged on the writing rank's own clock, so a
+// checkpointed run is never modeled as free — the overhead shows up in
+// virtual_seconds exactly as the snapshot I/O would on the machine.
+func (m *Model) SnapshotTime(bytes float64) float64 {
+	bw := m.Plat.CkptBW
+	if bw <= 0 {
+		bw = defaultCkptBW
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	return ckptLatency + (bytes/m.groupSize())/(bw/float64(m.RanksPerNode))
 }
 
 // CollectiveTime implements spmd.CommModel: a latency-bound tree

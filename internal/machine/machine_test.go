@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"math"
 	"testing"
 
 	"dibella/internal/spmd"
@@ -287,5 +288,45 @@ func TestChunkPostTime(t *testing.T) {
 	}
 	if ip := m.IPostTime(); cp >= ip {
 		t.Errorf("chunk post %v not cheaper than full non-blocking post %v", cp, ip)
+	}
+}
+
+func TestSnapshotTimePricing(t *testing.T) {
+	m, err := NewModel(Cori, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never free: even a zero-byte snapshot pays the per-segment latency.
+	if got := m.SnapshotTime(0); got <= 0 {
+		t.Errorf("zero-byte snapshot priced at %v", got)
+	}
+	// Monotone in bytes.
+	small, big := m.SnapshotTime(1<<20), m.SnapshotTime(64<<20)
+	if big <= small {
+		t.Errorf("64 MB snapshot (%v) not costlier than 1 MB (%v)", big, small)
+	}
+	// The bandwidth term dominates at size: 64 MB through a per-rank share
+	// of 1.5 GB/s / 8 ranks is ~0.34 s.
+	if big < 0.1 || big > 10 {
+		t.Errorf("64 MB snapshot priced at %v s, outside plausible range", big)
+	}
+	// A platform without CkptBW falls back to the default instead of
+	// dividing by zero.
+	custom := Cori
+	custom.CkptBW = 0
+	mc, err := NewModel(custom, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mc.SnapshotTime(1 << 20); got <= 0 || math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("default-bandwidth snapshot priced at %v", got)
+	}
+	// AWS's slower file system must price the same snapshot higher.
+	ma, err := NewModel(AWS, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.SnapshotTime(64<<20) <= m.SnapshotTime(64<<20) {
+		t.Error("AWS snapshot not costlier than Cori's")
 	}
 }

@@ -8,6 +8,12 @@
 // a whole-file load would have produced, so every downstream stage — and
 // the PAF output — is byte-identical; only the I/O and resident memory
 // drop from O(file) to O(file/P) per rank.
+//
+// The assembly half (metadata allgather + boundary reshuffle) is shared
+// with the checkpoint loader: a resume hands each rank the contiguous
+// record runs of its assigned snapshot segments, which assembleStore
+// re-homes into the canonical distribution of the (possibly different)
+// resumed world size exactly as it re-homes file-shard boundaries.
 package pipeline
 
 import (
@@ -26,57 +32,75 @@ type shardMeta struct {
 	Lens  []int32
 }
 
+// agreeError is the collective error-agreement idiom: every rank
+// contributes its local failure (or ""), and if any rank failed, every
+// rank unwinds with the same error — a survivor would otherwise hang in
+// the next collective.
+func agreeError(c *spmd.Comm, op string, err error) error {
+	status := ""
+	if err != nil {
+		status = fmt.Sprintf("rank %d: %v", c.Rank(), err)
+	}
+	for _, s := range spmd.Allgather(c, status) {
+		if s != "" {
+			return errors.New("pipeline: " + op + ": " + s)
+		}
+	}
+	return nil
+}
+
 // LoadStore cooperatively loads path across c's world and returns this
 // rank's sharded ReadStore. All ranks must call it collectively with the
 // same path; a load failure on any rank fails every rank (no partial
 // worlds). The store's block distribution is identical to
 // fastq.NewReadStore over the whole file.
 func LoadStore(c *spmd.Comm, path string) (*fastq.ReadStore, error) {
-	p, rank := c.Size(), c.Rank()
-	shard, parsed, err := fastq.LoadShard(path, rank, p)
+	shard, parsed, err := fastq.LoadShard(path, c.Rank(), c.Size())
 
 	// Collective error agreement: if any rank failed to read its shard
 	// (missing file on one host, permissions, corrupt range), every rank
-	// must unwind — a survivor would hang in the metadata allgather.
-	status := ""
-	if err != nil {
-		status = fmt.Sprintf("rank %d: %v", rank, err)
+	// must unwind.
+	if err := agreeError(c, "cooperative load of "+path, err); err != nil {
+		return nil, err
 	}
-	for _, s := range spmd.Allgather(c, status) {
-		if s != "" {
-			return nil, errors.New("pipeline: cooperative load of " + path + " failed: " + s)
-		}
-	}
+	return assembleStore(c, shard, parsed)
+}
 
-	meta := shardMeta{Names: make([]string, len(shard)), Lens: make([]int32, len(shard))}
-	for i, rec := range shard {
+// assembleStore builds this rank's endpoint of the canonical sharded
+// store from a contiguous run of parsed records. The runs of all ranks,
+// concatenated in rank order, must be exactly the global record sequence
+// (global IDs follow that order); empty runs are fine. Sequences that
+// fall outside the rank's canonical byte-balanced range travel to their
+// owners in one packed all-to-all.
+func assembleStore(c *spmd.Comm, held []*fastq.Record, parsed int64) (*fastq.ReadStore, error) {
+	p, rank := c.Size(), c.Rank()
+	meta := shardMeta{Names: make([]string, len(held)), Lens: make([]int32, len(held))}
+	for i, rec := range held {
 		meta.Names[i] = rec.Name
 		meta.Lens[i] = int32(rec.Len())
 	}
 	all := spmd.Allgather(c, meta)
 
-	// Global ID map: IDs follow file order, i.e. rank-order concatenation
-	// of the shards. parsedStart[r] is the first global ID rank r parsed.
-	parsedStart := make([]int, p+1)
+	// Global ID map: IDs follow the rank-order concatenation of the held
+	// runs. heldStart[r] is the first global ID rank r holds.
+	heldStart := make([]int, p+1)
 	var names []string
 	var lens []int32
 	for r, m := range all {
-		parsedStart[r+1] = parsedStart[r] + len(m.Names)
+		heldStart[r+1] = heldStart[r] + len(m.Names)
 		names = append(names, m.Names...)
 		lens = append(lens, m.Lens...)
 	}
 	ranges := fastq.PartitionLens(lens, p)
 
-	// Reshuffle: parsed-but-not-owned sequences travel to their owners.
-	// The shard boundaries (file-byte balanced) and the canonical ranges
-	// (sequence-byte balanced) nearly coincide, so only boundary reads
-	// move. Receivers know exactly which IDs arrive from whom — the
-	// overlap of src's parsed interval with our owned range, in ID order
-	// — so the exchange carries raw sequence bytes, nothing else.
+	// Reshuffle: held-but-not-owned sequences travel to their owners.
+	// Receivers know exactly which IDs arrive from whom — the overlap of
+	// src's held interval with our owned range, in ID order — so the
+	// exchange carries raw sequence bytes, nothing else.
 	send := make([]spmd.PackedBufs, p)
-	myParsed := parsedStart[rank]
-	for i, rec := range shard {
-		gid := myParsed + i
+	myHeld := heldStart[rank]
+	for i, rec := range held {
+		gid := myHeld + i
 		if owner := ownerOf(ranges, gid); owner != rank {
 			send[owner].AppendItem(rec.Seq)
 		}
@@ -89,11 +113,11 @@ func LoadStore(c *spmd.Comm, path string) (*fastq.ReadStore, error) {
 	cursor := make([]int, p)
 	src := 0
 	for gid := start; gid < end; gid++ {
-		for gid >= parsedStart[src+1] {
+		for gid >= heldStart[src+1] {
 			src++
 		}
 		if src == rank {
-			owned = append(owned, shard[gid-myParsed])
+			owned = append(owned, held[gid-myHeld])
 			continue
 		}
 		if items[src] == nil {

@@ -20,6 +20,7 @@ import (
 
 	"dibella/internal/align"
 	"dibella/internal/bella"
+	"dibella/internal/ckpt"
 	"dibella/internal/dht"
 	"dibella/internal/fastq"
 	"dibella/internal/machine"
@@ -339,29 +340,12 @@ func (rep *Report) TaskImbalance() float64 {
 // collectively; store must describe the same global read set on every
 // rank (whole or sharded — see ExecuteComm).
 func Run(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config) (RankReport, []Alignment, error) {
-	if err := cfg.setDefaults(); err != nil {
-		return RankReport{}, nil, err
-	}
-	view := store.View(c.Rank())
-	start, end := view.LocalIDRange()
-	local := dht.LocalReads{IDStart: start}
-	for id := start; id < end; id++ {
-		local.Seqs = append(local.Seqs, store.Seq(id))
-	}
+	return run(c, model, store, cfg, nil, nil)
+}
 
-	part, buildStats, err := dht.Build(c, model, local, dht.Config{
-		K: cfg.K, MaxFreq: cfg.MaxFreq,
-		MaxKmersPerRound: cfg.MaxKmersPerRound,
-		BloomFP:          cfg.BloomFP,
-		ErrorRate:        cfg.ErrorRate,
-		UseHLL:           cfg.UseHLL,
-		MinimizerWindow:  cfg.MinimizerWindow,
-		Async:            cfg.Exchange != ExchangeSync,
-	})
-	if err != nil {
-		return RankReport{}, nil, err
-	}
-
+// overlapConfig builds the overlap stage's configuration (shared by the
+// fresh run and the checkpoint loader's task re-shard).
+func (cfg *Config) overlapConfig(store *fastq.ReadStore) overlap.Config {
 	ovCfg := overlap.Config{
 		K: cfg.K, Mode: cfg.SeedMode, MinDist: cfg.MinDist, MaxSeeds: cfg.MaxSeeds,
 		Policy: cfg.OwnerPolicy,
@@ -371,27 +355,89 @@ func Run(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config)
 		// (4 bytes per read); both store layouts provide them globally.
 		ovCfg.ReadLen = store.Len
 	}
-	tasks, ovStats, err := overlap.Run(c, model, part, store.Owner, ovCfg)
-	if err != nil {
+	return ovCfg
+}
+
+// run is the stage driver behind Run: optionally emitting stage-boundary
+// snapshots (ck) and optionally starting from a restored stage boundary
+// (res) instead of the beginning. All ranks call it collectively with
+// the same ck/res shape.
+func run(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config,
+	ck *ckptState, res *resumeState) (RankReport, []Alignment, error) {
+
+	if err := cfg.setDefaults(); err != nil {
 		return RankReport{}, nil, err
 	}
-	// The hash table is no longer needed once tasks exist.
-	part = nil
-	_ = part
+	view := store.View(c.Rank())
+	start, end := view.LocalIDRange()
+
+	rr := RankReport{Rank: c.Rank(), ReadsLocal: int(end - start), InputBytes: store.ParsedBytes}
+
+	// Load boundary: the sharded read store is durable; a restart can
+	// skip parsing and reshuffling the input. Its I/O cost is charged to
+	// the Bloom stage's packing account (the stage the snapshot delays).
+	if err := ck.snapshot(c, ckpt.StageLoad, storeSections(store, c.Rank()), &rr.Bloom.Breakdown); err != nil {
+		return RankReport{}, nil, err
+	}
+
+	var part *dht.Partition
+	if res.resumedPast(ckpt.StageLoad) {
+		part = res.part
+	} else {
+		local := dht.LocalReads{IDStart: start}
+		for id := start; id < end; id++ {
+			local.Seqs = append(local.Seqs, store.Seq(id))
+		}
+		var buildStats dht.BuildStats
+		var err error
+		part, buildStats, err = dht.Build(c, model, local, dht.Config{
+			K: cfg.K, MaxFreq: cfg.MaxFreq,
+			MaxKmersPerRound: cfg.MaxKmersPerRound,
+			BloomFP:          cfg.BloomFP,
+			ErrorRate:        cfg.ErrorRate,
+			UseHLL:           cfg.UseHLL,
+			MinimizerWindow:  cfg.MinimizerWindow,
+			Async:            cfg.Exchange != ExchangeSync,
+		})
+		if err != nil {
+			return RankReport{}, nil, err
+		}
+		rr.Bloom, rr.Hash, rr.Retained = buildStats.Bloom, buildStats.Hash, buildStats.Retained
+
+		// DHT boundary: partitions plus the read store, so the snapshot
+		// is self-contained.
+		sections := append(storeSections(store, c.Rank()), ckpt.Section{Name: sectionDHT, Data: part.Encode()})
+		if err := ck.snapshot(c, ckpt.StageDHT, sections, &rr.Hash.Breakdown); err != nil {
+			return RankReport{}, nil, err
+		}
+	}
+
+	var tasks []overlap.Task
+	if res.resumedPast(ckpt.StageDHT) {
+		tasks = res.tasks
+	} else {
+		var ovStats overlap.Stats
+		var err error
+		tasks, ovStats, err = overlap.Run(c, model, part, store.Owner, cfg.overlapConfig(store))
+		if err != nil {
+			return RankReport{}, nil, err
+		}
+		rr.Overlap = ovStats
+		// The hash table is no longer needed once tasks exist.
+		part = nil
+		_ = part
+
+		// Overlap boundary: consolidated task sets plus the read store.
+		sections := append(storeSections(store, c.Rank()), ckpt.Section{Name: sectionTasks, Data: overlap.EncodeTasks(tasks)})
+		if err := ck.snapshot(c, ckpt.StageOverlap, sections, &rr.Overlap.Breakdown); err != nil {
+			return RankReport{}, nil, err
+		}
+	}
 
 	recs, alStats := alignStage(c, model, view, tasks, cfg)
-
-	return RankReport{
-		Rank:         c.Rank(),
-		ReadsLocal:   int(end - start),
-		InputBytes:   store.ParsedBytes,
-		Bloom:        buildStats.Bloom,
-		Hash:         buildStats.Hash,
-		Overlap:      ovStats,
-		Align:        alStats,
-		Retained:     buildStats.Retained,
-		VirtualTotal: c.Now(),
-	}, recs, nil
+	rr.Align = alStats
+	rr.VirtualTotal = c.Now()
+	return rr, recs, nil
 }
 
 // ExecuteComm runs the full pipeline collectively on c's world — whatever
@@ -404,6 +450,14 @@ func Run(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config)
 // read set on every rank: either the identical whole store, or each
 // rank's endpoint of one cooperative sharded load (LoadStore).
 func ExecuteComm(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config) (*Report, error) {
+	return executeGather(c, model, store, cfg, nil, nil)
+}
+
+// executeGather is ExecuteComm with optional checkpointing (ck) and
+// resume state (res) threaded through to the stage driver.
+func executeGather(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config,
+	ck *ckptState, res *resumeState) (*Report, error) {
+
 	if model != nil && model.Ranks() != c.Size() {
 		return nil, fmt.Errorf("pipeline: model is shaped for %d ranks, running %d", model.Ranks(), c.Size())
 	}
@@ -413,7 +467,7 @@ func ExecuteComm(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg
 		return nil, err
 	}
 	wall := time.Now()
-	rr, recs, err := Run(c, model, store, cfg)
+	rr, recs, err := run(c, model, store, cfg, ck, res)
 	if err != nil {
 		return nil, err
 	}
