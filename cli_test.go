@@ -510,6 +510,9 @@ func TestCLIFlagValidation(t *testing.T) {
 		{[]string{"-reply-depth", "0"}, "-reply-depth must be"},
 		{[]string{"-reply-depth", "64"}, "-reply-depth must be"},
 		{[]string{"-async-exchange=false", "-reply-chunk", "4096"}, "-reply-chunk streams"},
+		{[]string{"-window", "0"}, "-window must be"},
+		{[]string{"-seed", "foo"}, "unknown -seed"},
+		{[]string{"-window", "7"}, "-window only applies"},
 	}
 	for _, tc := range cases {
 		args := append([]string{"-in", reads}, tc.args...)

@@ -64,6 +64,11 @@ var configFlagFields = map[string]func(*runParams) any{
 	"xdrop":     func(p *runParams) any { return p.Cfg.XDrop },
 	"min-score": func(p *runParams) any { return p.Cfg.MinAlignScore },
 
+	// -seed and -window both resolve into MinimizerWindow (0: exact;
+	// >1: minimizer seeding at that window).
+	"seed":   func(p *runParams) any { return p.Cfg.MinimizerWindow },
+	"window": func(p *runParams) any { return p.Cfg.MinimizerWindow },
+
 	"error-rate": func(p *runParams) any { return p.Cfg.ErrorRate },
 	"coverage":   func(p *runParams) any { return p.Cfg.Coverage },
 	"genome":     func(p *runParams) any { return p.Cfg.GenomeEst },
@@ -100,8 +105,9 @@ func configFlagConflicts(explicit map[string]bool, local, shipped *runParams) []
 // manifest is authoritative); passing one explicitly is rejected so the
 // user learns the flag was not applied.
 var outputAffectingFlags = []string{
-	"in", "k", "m", "seed-mode", "min-dist", "xdrop", "min-score",
-	"error-rate", "coverage", "genome", "keep-all-seed-alignments",
+	"in", "k", "m", "seed-mode", "seed", "window", "min-dist", "xdrop",
+	"min-score", "error-rate", "coverage", "genome",
+	"keep-all-seed-alignments",
 }
 
 // resumeFlagError reports the first explicitly-set flag that a -resume

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	dibella -in reads.fastq -out overlaps.paf -p 8 -seed-mode one
+//	dibella -in reads.fastq -seed minimizer -window 5   # sparse minimizer seeding
 //	dibella -in reads.fastq -platform cori -nodes 8     # modeled platform run
 //	dibella -in reads.fastq -transport tcp -p 4         # 4 OS processes over TCP
 //	dibella -in reads.fastq -hosts n1,n2:4 -p 8         # multi-host world
@@ -71,6 +72,8 @@ func main() {
 		k        = flag.Int("k", 0, "k-mer length (0: derive from -error-rate/-genome)")
 		maxFreq  = flag.Int("m", 0, "high-frequency k-mer cutoff (0: derive)")
 		seedMode = flag.String("seed-mode", "one", "seed exploration: one | dist | all")
+		seed     = flag.String("seed", "exact", "seed extraction: exact (every k-mer) | minimizer ((w,k)-minimizers only; see -window)")
+		window   = flag.Int("window", 5, "minimizer window w for -seed minimizer: ship only each window's minimum-hash k-mer, ~2/(w+1) of the k-mer volume")
 		minDist  = flag.Int("min-dist", 1000, "min seed separation for -seed-mode dist")
 		xdrop    = flag.Int("xdrop", 7, "x-drop threshold")
 		minScore = flag.Int("min-score", 0, "drop alignments scoring below this")
@@ -155,8 +158,13 @@ func main() {
 		usageError("-reply-chunk must be non-negative (0 disables streaming), got %d", *replyChunk)
 	case *replyDepth < 1 || *replyDepth > spmd.MaxStreamDepth:
 		usageError("-reply-depth must be in [1,%d], got %d", spmd.MaxStreamDepth, *replyDepth)
+	case *window < 1:
+		usageError("-window must be at least 1 (1 degenerates to exact seeding), got %d", *window)
 	case *formTimeout <= 0:
 		usageError("-form-timeout must be positive, got %v", *formTimeout)
+	}
+	if *seed != "exact" && *seed != "minimizer" {
+		usageError("unknown -seed %q (want exact or minimizer)", *seed)
 	}
 	if *transport != "mem" && *transport != "tcp" {
 		fatal(fmt.Errorf("unknown -transport %q (want mem or tcp)", *transport))
@@ -166,6 +174,9 @@ func main() {
 	}
 	explicit := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["window"] && *seed != "minimizer" {
+		usageError("-window only applies with -seed minimizer")
+	}
 	if *resume != "" {
 		if err := resumeFlagError(explicit); err != nil {
 			usageError("%v", err)
@@ -241,6 +252,12 @@ func main() {
 		cfg.SeedMode = overlap.AllSeeds
 	default:
 		fatal(fmt.Errorf("unknown -seed-mode %q", *seedMode))
+	}
+	// Seed extraction: minimizer mode ships only (w,k)-minimizers through
+	// both DHT build passes, cutting exchange volume to ~2/(w+1) of exact
+	// seeding at a small recall cost (see the README's "Seeding modes").
+	if *seed == "minimizer" {
+		cfg.MinimizerWindow = *window
 	}
 
 	params := &runParams{
@@ -492,7 +509,10 @@ func writeOutput(rep *pipeline.Report, recs []paf.Record, outPath string, breakd
 }
 
 func printBreakdown(rep *pipeline.Report) {
-	headers := []string{"stage", "wall", "modeled s", "exchange s", "overlapped s", "hidden"}
+	// "exch bytes" is the stage's total all-to-all payload across ranks —
+	// the column to watch when comparing -seed minimizer against exact
+	// seeding, since minimizers shrink wire volume, not stage structure.
+	headers := []string{"stage", "wall", "modeled s", "exchange s", "overlapped s", "hidden", "exch bytes"}
 	var rows [][]string
 	for _, s := range pipeline.Stages {
 		hidden := "-"
@@ -506,8 +526,12 @@ func printBreakdown(rep *pipeline.Report) {
 			fmt.Sprintf("%.4f", rep.StageExchangeVirtual(s)),
 			fmt.Sprintf("%.4f", rep.StageOverlapVirtual(s)),
 			hidden,
+			fmt.Sprintf("%d", rep.StageExchangeBytes(s)),
 		})
 	}
+	rows = append(rows, []string{
+		"total", "", "", "", "", "", fmt.Sprintf("%d", rep.ExchangeBytes()),
+	})
 	fmt.Fprint(os.Stderr, stats.FormatTable(headers, rows))
 	fmt.Fprintf(os.Stderr, "alignment load imbalance: %.3f (tasks %.4f)\n",
 		rep.AlignImbalance(), rep.TaskImbalance())

@@ -1,18 +1,3 @@
-// Package bloom implements the Bloom filter used by diBELLA's first
-// pipeline stage to identify singleton k-mers without storing the full
-// k-mer bag.
-//
-// A Bloom filter is a bit array with h hash functions per element; it can
-// report false positives but never false negatives (Bloom 1970). diBELLA
-// (following HipMer) builds one partition per rank: k-mers are exchanged to
-// their hash owner, tested, and only those seen at least twice become hash
-// table keys. For long reads up to 98% of k-mers are singletons, so the
-// filter removes the bulk of the data before any per-k-mer metadata is
-// stored.
-//
-// Hashing uses the standard Kirsch–Mitzenmacher double-hashing scheme
-// (g_i(x) = h1(x) + i·h2(x)), which preserves the asymptotic false-positive
-// rate with only two base hashes per element.
 package bloom
 
 import (

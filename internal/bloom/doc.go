@@ -1,0 +1,21 @@
+// Package bloom implements the Bloom filter used by diBELLA's first
+// pipeline stage to identify singleton k-mers without storing the full
+// k-mer bag — the gatekeeper between the seed exchange and the hash
+// table: only seeds the filter has (probably) seen twice become table
+// keys that the overlap stage can later walk.
+//
+// A Bloom filter is a bit array with h hash functions per element; it can
+// report false positives but never false negatives (Bloom 1970). diBELLA
+// (following HipMer) builds one partition per rank: k-mers are exchanged to
+// their hash owner, tested, and only those seen at least twice become hash
+// table keys. For long reads up to 98% of k-mers are singletons, so the
+// filter removes the bulk of the data before any per-k-mer metadata is
+// stored. A false positive only admits a key whose occurrence count stays
+// below 2 — the hash pass's prune removes it — so filter sizing affects
+// memory and time, never output. Under minimizer seeding the filter is
+// sized for the ~2/(w+1)-sparser minimizer stream.
+//
+// Hashing uses the standard Kirsch–Mitzenmacher double-hashing scheme
+// (g_i(x) = h1(x) + i·h2(x)), which preserves the asymptotic false-positive
+// rate with only two base hashes per element.
+package bloom

@@ -1,25 +1,3 @@
-// Package dht builds diBELLA's distributed k-mer hash table: the first two
-// pipeline stages of the paper.
-//
-// Stage 1 (Bloom filter construction, §6): every rank streams its local
-// reads into k-mers, routes each k-mer to its hash owner through an
-// irregular all-to-all, and the owner inserts it into a local Bloom filter
-// partition. A k-mer seen for the (probable) second time becomes a key in
-// the owner's hash-table partition. Because up to ~98% of long-read k-mers
-// are singletons, this pass eliminates the bulk of the data without storing
-// per-instance metadata.
-//
-// Stage 2 (hash table construction, §7): the reads are streamed again, now
-// shipping (k-mer, read ID, position, orientation) tuples; owners append
-// occurrences only for resident keys and count every sighting. Afterwards
-// each partition prunes Bloom false positives (count < 2) and
-// high-frequency repeat k-mers (count > m). Surviving keys are the
-// "retained" k-mers — the edges of the read-overlap graph.
-//
-// Both passes run in memory-limited rounds: ranks agree (via all-reduce) on
-// the global round count and exchange at most MaxKmersPerRound k-mers per
-// rank per round, so the full k-mer bag never resides in memory — the
-// paper's streaming design.
 package dht
 
 import (
@@ -158,6 +136,9 @@ func (cfg *Config) setDefaults() error {
 	if cfg.HLLPrecision == 0 {
 		cfg.HLLPrecision = 12
 	}
+	if cfg.MinimizerWindow < 0 {
+		return fmt.Errorf("dht: minimizer window %d must be non-negative", cfg.MinimizerWindow)
+	}
 	return nil
 }
 
@@ -230,11 +211,16 @@ func Build(c *spmd.Comm, model *machine.Model, reads LocalReads, cfg Config) (*P
 		spmd.OpMax))
 	globalBag := spmd.AllreduceI64(c, localKmers, spmd.OpSum)
 
-	// Size the Bloom filter.
+	// Size the Bloom filter. A minimizer run inserts only ~2/(w+1) of the
+	// bag, so the Eq. 2 estimate scales by the minimizer density (the HLL
+	// pass sketches the shipped stream directly). Sizing never affects
+	// output — a Bloom false positive creates a table entry whose count
+	// stays below 2 and is pruned — only memory and modeled insert time.
 	if cfg.UseHLL {
 		stats.DistinctEstimate = estimateWithHLL(c, pr, reads, cfg)
 	} else {
-		stats.DistinctEstimate = float64(globalBag) * cfg.DistinctRatio
+		stats.DistinctEstimate = float64(globalBag) * cfg.DistinctRatio *
+			kmer.MinimizerDensity(cfg.MinimizerWindow)
 	}
 	perRank := uint64(stats.DistinctEstimate/float64(c.Size())*1.1) + 64
 	filter := bloom.NewWithEstimate(perRank, cfg.BloomFP)
@@ -262,22 +248,20 @@ func Build(c *spmd.Comm, model *machine.Model, reads LocalReads, cfg Config) (*P
 	return part, stats, nil
 }
 
-// estimateWithHLL runs the optional HyperLogLog cardinality pass.
+// estimateWithHLL runs the optional HyperLogLog cardinality pass over the
+// stream the passes will actually ship (every k-mer, or only the
+// minimizers), so the estimate matches what the Bloom filter will see.
 func estimateWithHLL(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config) float64 {
 	sk := hll.New(cfg.HLLPrecision)
-	n := int64(0)
-	for i, seq := range reads.Seqs {
-		sc := kmer.NewScanner(seq, cfg.K, reads.IDStart+uint32(i))
-		for {
-			ex, ok := sc.Next()
-			if !ok {
-				break
-			}
-			sk.Add(ex.Kmer.Hash())
-			n++
+	str := newStream(reads, cfg.K, cfg.MinimizerWindow)
+	for {
+		ex, ok := str.next()
+		if !ok {
+			break
 		}
+		sk.Add(ex.Kmer.Hash())
 	}
-	pr.tick(float64(n), machine.RateParse, float64(sk.SizeBytes()))
+	pr.tick(float64(str.takeScanned()), machine.RateParse, float64(sk.SizeBytes()))
 	merged := spmd.MaxReduceRegisters(c, sk.Registers())
 	if err := sk.SetRegisters(merged); err != nil {
 		panic(err) // same precision by construction
@@ -286,19 +270,32 @@ func estimateWithHLL(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config) floa
 }
 
 // stream walks a rank's reads emitting k-mers (or minimizers) in batches
-// across rounds.
+// across rounds. It also counts the k-mers *scanned* to produce what it
+// emits: a minimizer stream still reads every k-mer to find each window's
+// minimum, so local parse time is priced on the scanned count while
+// packing and exchange scale with the emitted count.
 type stream struct {
-	reads LocalReads
-	k     int
-	w     int // minimizer window; <=1 streams every k-mer
-	idx   int
-	sc    *kmer.Scanner
-	mins  []kmer.Extracted // current read's minimizers (w > 1)
-	mIdx  int
+	reads   LocalReads
+	k       int
+	w       int // minimizer window; <=1 streams every k-mer
+	idx     int
+	sc      *kmer.Scanner
+	mins    []kmer.Extracted // current read's minimizers (w > 1)
+	mIdx    int
+	scanned int64 // k-mers scanned since the last takeScanned
 }
 
 func newStream(reads LocalReads, k, w int) *stream {
 	return &stream{reads: reads, k: k, w: w}
+}
+
+// takeScanned returns and resets the count of k-mers scanned since the
+// previous call. In exact mode it equals the emitted count; in minimizer
+// mode it is larger by ~(w+1)/2.
+func (s *stream) takeScanned() int64 {
+	n := s.scanned
+	s.scanned = 0
+	return n
 }
 
 // next returns the next extracted k-mer, ok=false at end of all reads.
@@ -313,8 +310,9 @@ func (s *stream) next() (kmer.Extracted, bool) {
 			if s.idx >= len(s.reads.Seqs) {
 				return kmer.Extracted{}, false
 			}
-			s.mins = kmer.Minimizers(s.reads.Seqs[s.idx], s.k, s.w,
-				s.reads.IDStart+uint32(s.idx))
+			seq := s.reads.Seqs[s.idx]
+			s.mins = kmer.Minimizers(seq, s.k, s.w, s.reads.IDStart+uint32(s.idx))
+			s.scanned += int64(kmer.Count(len(seq), s.k))
 			s.mIdx = 0
 			s.idx++
 		}
@@ -329,6 +327,7 @@ func (s *stream) next() (kmer.Extracted, bool) {
 		}
 		ex, ok := s.sc.Next()
 		if ok {
+			s.scanned++
 			return ex, true
 		}
 		s.sc = nil
@@ -405,7 +404,10 @@ func bloomPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int
 			parsed++
 		}
 		st.KmersParsed += parsed
-		st.LocalVirtual += pr.tick(float64(parsed), machine.RateParse, ws())
+		// Parse time covers every k-mer scanned, not just those shipped:
+		// a minimizer stream reads the full bag to select its windows'
+		// minima, and nothing is modeled as free.
+		st.LocalVirtual += pr.tick(float64(str.takeScanned()), machine.RateParse, ws())
 		st.LocalWall += time.Since(t0)
 		t0 = time.Now()
 		st.BytesPacked += parsed * 8
@@ -463,7 +465,9 @@ func hashPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int,
 			parsed++
 		}
 		st.KmersParsed += parsed
-		st.LocalVirtual += pr.tick(float64(parsed), machine.RateParse, ws())
+		// Full scan priced, as in bloomPass: minimizer selection is not
+		// free even though only the minima travel.
+		st.LocalVirtual += pr.tick(float64(str.takeScanned()), machine.RateParse, ws())
 		st.LocalWall += time.Since(t0)
 		t0 = time.Now()
 		st.BytesPacked += parsed * 16

@@ -1,0 +1,17 @@
+// Package evalx evaluates overlap/alignment output against the synthetic
+// ground truth, the way BELLA's quality methodology (which diBELLA
+// inherits, §11: "The quality produced by diBELLA is at least that of
+// BELLA") scores overlappers where the truth is known.
+//
+// A predicted pair is a true positive when the two reads' genomic
+// intervals (seqgen.Dataset.Origins) really overlap by at least the
+// minimum length; recall is measured over all such ground-truth pairs,
+// precision over all predictions. Predictions whose reads do overlap but
+// by less than the minimum are counted as near misses, not errors.
+//
+// In the seed→exchange→overlap path this package is the measuring stick
+// at the end: it quantifies what a change to the seed set costs in
+// sensitivity. The bench harness uses it to score minimizer seeding
+// (`-seed minimizer`) against exact k-mer seeding — the recall/volume
+// trade-off study committed with each BENCH_PR<N>.json snapshot.
+package evalx

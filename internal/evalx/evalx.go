@@ -1,12 +1,3 @@
-// Package evalx evaluates overlap/alignment output against the synthetic
-// ground truth, the way BELLA's quality methodology (which diBELLA
-// inherits, §11: "The quality produced by diBELLA is at least that of
-// BELLA") scores overlappers where the truth is known.
-//
-// A predicted pair is a true positive when the two reads' genomic
-// intervals really overlap by at least the minimum length; recall is
-// measured over all such ground-truth pairs, precision over all
-// predictions.
 package evalx
 
 import (

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"os"
 
+	"dibella/internal/evalx"
+	"dibella/internal/kmer"
 	"dibella/internal/machine"
 	"dibella/internal/pipeline"
 	"dibella/internal/spmd"
@@ -26,6 +28,13 @@ const (
 	// benchSweepChunk is the chunk size of the depth sweep: small enough
 	// that every depth in the sweep has rounds left to keep in flight.
 	benchSweepChunk = 2 << 10
+	// benchMinimizerWindow is the minimizer schedule's window: w=5 is the
+	// recall/volume sweet spot the trade-off study (minimizer_recall)
+	// brackets with w=3 and w=9.
+	benchMinimizerWindow = 5
+	// benchMinOverlap is the ground-truth overlap threshold of the recall
+	// study (the paper's reportable-overlap floor).
+	benchMinOverlap = 2000
 )
 
 // BenchRun is one schedule's numbers on the bench workload.
@@ -38,6 +47,23 @@ type BenchRun struct {
 	AlignOverlapFraction float64 `json:"align_overlap_fraction"`
 	Alignments           int64   `json:"alignments"`
 	AlignmentsPerVirtual float64 `json:"alignments_per_virtual_second"`
+	// ExchangeBytes is the total exchange payload packed across all four
+	// stages; BuildExchangeBytes is the Bloom+Hash (index build) share —
+	// the volume minimizer seeding attacks.
+	ExchangeBytes      int64 `json:"exchange_bytes"`
+	BuildExchangeBytes int64 `json:"build_exchange_bytes"`
+}
+
+// RecallPoint is one window of the minimizer recall/volume trade-off
+// study, scored by internal/evalx against the generator's ground truth.
+// Window 0 is the exact-k-mer baseline; BuildByteRatio is relative to it.
+type RecallPoint struct {
+	Window         int     `json:"window"`
+	Recall         float64 `json:"recall"`
+	Precision      float64 `json:"precision"`
+	F1             float64 `json:"f1"`
+	BuildByteRatio float64 `json:"build_byte_ratio"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
 }
 
 // DepthPoint is one entry of the streamed depth sweep: the same workload
@@ -72,6 +98,17 @@ type BenchResult struct {
 	SpeedupStreamed float64      `json:"modeled_speedup_streamed_over_sync"`
 	SweepChunkBytes int          `json:"sweep_chunk_bytes"`
 	DepthSweep      []DepthPoint `json:"streamed_depth_sweep"`
+	// Minimizer is the streamed schedule rerun with -seed minimizer at
+	// MinimizerWindow: same workload and exchange shape, sparser seed set.
+	// MinimizerByteRatio compares its build exchange bytes against the
+	// exact streamed run's; PredictedDensity is the 2/(w+1) expectation the
+	// ratio should land within ~15% of.
+	Minimizer          BenchRun      `json:"minimizer"`
+	MinimizerWindow    int           `json:"minimizer_window"`
+	PredictedDensity   float64       `json:"minimizer_predicted_density"`
+	MinimizerByteRatio float64       `json:"minimizer_build_byte_ratio"`
+	SpeedupMinimizer   float64       `json:"modeled_speedup_minimizer_over_streamed"`
+	MinimizerRecall    []RecallPoint `json:"minimizer_recall"`
 }
 
 // ExchangeBench runs the schedule comparison on the E. coli 30x one-seed
@@ -86,7 +123,7 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 	}
 	const nodes = 8
 	p := o.simRanks(nodes)
-	run := func(mode pipeline.ExchangeMode, chunk, depth int, ck *pipeline.CkptOptions) (BenchRun, error) {
+	run := func(mode pipeline.ExchangeMode, chunk, depth, window int, ck *pipeline.CkptOptions) (BenchRun, error) {
 		mdl, err := machine.NewModelScaled(machine.Cori, nodes, p)
 		if err != nil {
 			return BenchRun{}, err
@@ -94,6 +131,7 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 		cfg := oneSeedConfig()
 		cfg.Exchange = mode
 		cfg.ReplyChunk, cfg.ReplyDepth = chunk, depth
+		cfg.MinimizerWindow = window
 		// Several exchange rounds per pass, so the round pipeline has
 		// in-flight exchanges to hide (one monolithic round would leave
 		// the Bloom/hash passes nothing to overlap).
@@ -107,7 +145,7 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 		if err != nil {
 			return BenchRun{}, err
 		}
-		o.logf("bench exchange=%v chunk=%d depth=%d ckpt=%v: %s", mode, chunk, depth, ck != nil, rep.Summary())
+		o.logf("bench exchange=%v chunk=%d depth=%d window=%d ckpt=%v: %s", mode, chunk, depth, window, ck != nil, rep.Summary())
 		bh := rep.StageVirtual(pipeline.StageBloom) + rep.StageVirtual(pipeline.StageHash)
 		br := BenchRun{
 			WallSeconds:      rep.WallTime.Seconds(),
@@ -116,6 +154,9 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 			ExchangeVirtual:  rep.ExchangeVirtual(),
 			OverlapFraction:  rep.OverlapFraction(),
 			Alignments:       rep.Alignments,
+			ExchangeBytes:    rep.ExchangeBytes(),
+			BuildExchangeBytes: rep.StageExchangeBytes(pipeline.StageBloom) +
+				rep.StageExchangeBytes(pipeline.StageHash),
 		}
 		if ex := rep.StageExchangeVirtual(pipeline.StageAlign); ex > 0 {
 			br.AlignOverlapFraction = rep.StageOverlapVirtual(pipeline.StageAlign) / ex
@@ -125,17 +166,21 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 		}
 		return br, nil
 	}
-	syncRun, err := run(pipeline.ExchangeSync, 0, 0, nil)
+	syncRun, err := run(pipeline.ExchangeSync, 0, 0, 0, nil)
 	if err != nil {
 		return nil, fmt.Errorf("figures: sync bench: %w", err)
 	}
-	asyncRun, err := run(pipeline.ExchangeAsync, 0, 0, nil)
+	asyncRun, err := run(pipeline.ExchangeAsync, 0, 0, 0, nil)
 	if err != nil {
 		return nil, fmt.Errorf("figures: async bench: %w", err)
 	}
-	streamRun, err := run(pipeline.ExchangeStreamed, benchReplyChunk, benchReplyDepth, nil)
+	streamRun, err := run(pipeline.ExchangeStreamed, benchReplyChunk, benchReplyDepth, 0, nil)
 	if err != nil {
 		return nil, fmt.Errorf("figures: streamed bench: %w", err)
+	}
+	minRun, err := run(pipeline.ExchangeStreamed, benchReplyChunk, benchReplyDepth, benchMinimizerWindow, nil)
+	if err != nil {
+		return nil, fmt.Errorf("figures: minimizer bench: %w", err)
 	}
 	// The checkpointed run: the streamed schedule plus snapshots at every
 	// stage boundary, written to a scratch directory and priced by the
@@ -145,7 +190,7 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 		return nil, fmt.Errorf("figures: ckpt bench scratch dir: %w", err)
 	}
 	defer os.RemoveAll(ckDir)
-	ckptRun, err := run(pipeline.ExchangeStreamed, benchReplyChunk, benchReplyDepth,
+	ckptRun, err := run(pipeline.ExchangeStreamed, benchReplyChunk, benchReplyDepth, 0,
 		&pipeline.CkptOptions{Dir: ckDir})
 	if err != nil {
 		return nil, fmt.Errorf("figures: ckpt bench: %w", err)
@@ -156,7 +201,10 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 		Reads:           len(reads),
 		ReplyChunkBytes: benchReplyChunk, ReplyDepth: benchReplyDepth,
 		Sync: syncRun, Async: asyncRun, Streamed: streamRun, Ckpt: ckptRun,
-		SweepChunkBytes: benchSweepChunk,
+		SweepChunkBytes:  benchSweepChunk,
+		Minimizer:        minRun,
+		MinimizerWindow:  benchMinimizerWindow,
+		PredictedDensity: kmer.MinimizerDensity(benchMinimizerWindow),
 	}
 	if asyncRun.VirtualSeconds > 0 {
 		res.SpeedupModel = syncRun.VirtualSeconds / asyncRun.VirtualSeconds
@@ -165,8 +213,17 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 		res.SpeedupStreamed = syncRun.VirtualSeconds / streamRun.VirtualSeconds
 		res.CkptOverhead = ckptRun.VirtualSeconds/streamRun.VirtualSeconds - 1
 	}
+	if streamRun.BuildExchangeBytes > 0 {
+		res.MinimizerByteRatio = float64(minRun.BuildExchangeBytes) / float64(streamRun.BuildExchangeBytes)
+	}
+	if minRun.VirtualSeconds > 0 {
+		res.SpeedupMinimizer = streamRun.VirtualSeconds / minRun.VirtualSeconds
+	}
+	if res.MinimizerRecall, err = minimizerRecallStudy(o, nodes, p); err != nil {
+		return nil, err
+	}
 	for _, depth := range []int{1, 2, 4, spmd.MaxStreamDepth} {
-		dr, err := run(pipeline.ExchangeStreamed, benchSweepChunk, depth, nil)
+		dr, err := run(pipeline.ExchangeStreamed, benchSweepChunk, depth, 0, nil)
 		if err != nil {
 			return nil, fmt.Errorf("figures: streamed depth-%d bench: %w", depth, err)
 		}
@@ -177,4 +234,50 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 		})
 	}
 	return res, nil
+}
+
+// minimizerRecallStudy quantifies the sensitivity minimizer seeding trades
+// for exchange volume: the bench workload rerun at windows 0 (exact
+// baseline), 3, 5, and 9 with alignments retained, each prediction set
+// scored by evalx against the generator's ground-truth overlaps.
+func minimizerRecallStudy(o *Options, nodes, p int) ([]RecallPoint, error) {
+	ds, err := o.Dataset30x()
+	if err != nil {
+		return nil, err
+	}
+	var out []RecallPoint
+	var exactBytes int64
+	for _, w := range []int{0, 3, 5, 9} {
+		mdl, err := machine.NewModelScaled(machine.Cori, nodes, p)
+		if err != nil {
+			return nil, err
+		}
+		cfg := oneSeedConfig()
+		cfg.MinimizerWindow = w
+		cfg.KeepAlignments = true
+		cfg.MaxKmersPerRound = 1 << 16
+		rep, err := pipeline.Execute(p, mdl, ds.Reads, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figures: recall study w=%d: %w", w, err)
+		}
+		pairs := make([]evalx.Pair, 0, len(rep.Records))
+		for _, a := range rep.Records {
+			pairs = append(pairs, evalx.Canon(a.A, a.B))
+		}
+		res := evalx.Evaluate(ds, pairs, benchMinOverlap)
+		build := rep.StageExchangeBytes(pipeline.StageBloom) + rep.StageExchangeBytes(pipeline.StageHash)
+		if w == 0 {
+			exactBytes = build
+		}
+		pt := RecallPoint{
+			Window: w, Recall: res.Recall(), Precision: res.Precision(), F1: res.F1(),
+			VirtualSeconds: rep.TotalVirtual(),
+		}
+		if exactBytes > 0 {
+			pt.BuildByteRatio = float64(build) / float64(exactBytes)
+		}
+		o.logf("recall study w=%d: %s (build bytes %.3f of exact)", w, res, pt.BuildByteRatio)
+		out = append(out, pt)
+	}
+	return out, nil
 }

@@ -47,7 +47,7 @@ type Options struct {
 	// Progress, when non-nil, receives one line per pipeline execution.
 	Progress io.Writer
 
-	reads30x  []*fastq.Record
+	ds30x     *seqgen.Dataset
 	reads100x []*fastq.Record
 	sweep30x  []RunMetrics
 }
@@ -85,17 +85,27 @@ func (o *Options) logf(format string, args ...any) {
 	}
 }
 
-// Reads30x lazily generates the E. coli 30x analogue.
-func (o *Options) Reads30x() ([]*fastq.Record, error) {
-	if o.reads30x == nil {
+// Dataset30x lazily generates the E. coli 30x analogue, retaining the
+// read origins so evalx can score predictions against ground truth.
+func (o *Options) Dataset30x() (*seqgen.Dataset, error) {
+	if o.ds30x == nil {
 		ds, err := seqgen.Generate(seqgen.EColi30x(o.Scale, o.Seed))
 		if err != nil {
 			return nil, err
 		}
-		o.reads30x = ds.Reads
+		o.ds30x = ds
 		o.logf("generated 30x analogue: %s", ds.Stats())
 	}
-	return o.reads30x, nil
+	return o.ds30x, nil
+}
+
+// Reads30x returns the E. coli 30x analogue's reads.
+func (o *Options) Reads30x() ([]*fastq.Record, error) {
+	ds, err := o.Dataset30x()
+	if err != nil {
+		return nil, err
+	}
+	return ds.Reads, nil
 }
 
 // Reads100x lazily generates the E. coli 100x analogue.

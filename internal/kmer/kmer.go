@@ -1,13 +1,3 @@
-// Package kmer implements fixed-length DNA substrings (k-mers) packed two
-// bits per base into a uint64, supporting k in [1,32].
-//
-// diBELLA parses every read into its overlapping k-mers (typically k=17 for
-// long-read data), hashes them, and distributes them across ranks by hash
-// ownership. This package provides the packed representation, reverse
-// complementation, canonicalization (min of a k-mer and its reverse
-// complement, so that both strands of the genome map to one key), rolling
-// extraction from ASCII reads that restarts across non-ACGT bytes, and the
-// 64-bit mixing hash used for rank assignment and Bloom-filter indexing.
 package kmer
 
 import (

@@ -69,25 +69,63 @@ func TestMinimizersMatchNaive(t *testing.T) {
 	}
 }
 
+// TestMinimizersW1IsAllKmers: w=1 (and w=0) degenerate to exact seeding —
+// every k-mer occurrence, element for element, for both the materializing
+// and counting implementations.
 func TestMinimizersW1IsAllKmers(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	seq := randomSeq(rng, 50)
-	all := ExtractAll(seq, 9, 0)
-	got := Minimizers(seq, 9, 1, 0)
-	if len(got) != len(all) {
-		t.Fatalf("w=1 selected %d of %d", len(got), len(all))
+	for _, w := range []int{0, 1} {
+		seq := randomSeq(rng, 50)
+		all := ExtractAll(seq, 9, 7)
+		got := Minimizers(seq, 9, w, 7)
+		if len(got) != len(all) {
+			t.Fatalf("w=%d selected %d of %d", w, len(got), len(all))
+		}
+		for i := range got {
+			if got[i] != all[i] {
+				t.Fatalf("w=%d minimizer %d is %+v, want %+v", w, i, got[i], all[i])
+			}
+		}
+		if n := MinimizerCount(seq, 9, w); n != len(all) {
+			t.Errorf("w=%d MinimizerCount=%d, want %d", w, n, len(all))
+		}
 	}
 }
 
+// TestMinimizersShortRead covers sequences shorter than k+w-1 (fewer than
+// w k-mers): one global minimizer, agreeing with MinimizerCount; below k
+// there is nothing to emit at all.
 func TestMinimizersShortRead(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	seq := randomSeq(rng, 12) // 4 k-mers at k=9, window 10
-	got := Minimizers(seq, 9, 10, 0)
+	const k, w = 9, 10
+	// 4 k-mers at k=9: shorter than the k+w-1 = 18 bases a full window needs.
+	seq := randomSeq(rng, 12)
+	got := Minimizers(seq, k, w, 0)
 	if len(got) != 1 {
 		t.Fatalf("short read emitted %d minimizers", len(got))
 	}
-	if Minimizers(nil, 9, 10, 0) != nil {
-		t.Error("empty read should emit nothing")
+	if n := MinimizerCount(seq, k, w); n != 1 {
+		t.Errorf("short read MinimizerCount=%d, want 1", n)
+	}
+	// Exactly one k-mer: it is its own global minimizer.
+	one := randomSeq(rng, k)
+	if got := Minimizers(one, k, w, 0); len(got) != 1 || got[0].Occ.Pos != 0 {
+		t.Errorf("k-length read: %+v, want its single k-mer", got)
+	}
+	// Shorter than k: no k-mers, no minimizers.
+	for _, n := range []int{0, 1, k - 1} {
+		sub := randomSeq(rng, n)
+		if Minimizers(sub, k, w, 0) != nil {
+			t.Errorf("%d-base read should emit nothing", n)
+		}
+		if c := MinimizerCount(sub, k, w); c != 0 {
+			t.Errorf("%d-base read MinimizerCount=%d, want 0", n, c)
+		}
+	}
+	// Exactly w k-mers: the boundary where windowing starts.
+	exact := randomSeq(rng, k+w-1)
+	if want := len(Minimizers(exact, k, w, 0)); MinimizerCount(exact, k, w) != want {
+		t.Errorf("boundary read: count disagrees with materialization")
 	}
 }
 

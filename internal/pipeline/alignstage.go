@@ -21,6 +21,7 @@ type AlignStats struct {
 	Cells        int64 // DP cells computed across all alignments
 	ReadsFetched int64 // remote reads replicated to this rank
 	FetchedBytes int64 // bytes of replicated sequence
+	BytesPacked  int64 // exchange payload this rank packed (requests + replies)
 	stats.Breakdown
 }
 
@@ -233,6 +234,7 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	for _, r := range reqs {
 		sort.Slice(r, func(i, j int) bool { return r[i] < r[j] })
 	}
+	st.BytesPacked += int64(len(needed)) * 4 // request payload: one uint32 ID per wanted read
 	st.LocalVirtual += price(c, model, float64(len(needed)), machine.RatePairGen, 0)
 	st.LocalWall += time.Since(t0)
 
@@ -269,6 +271,7 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 			packedBytes += int64(len(seq))
 		}
 	}
+	st.BytesPacked += packedBytes // reply payload: the requested sequences
 	st.PackVirtual += price(c, model, float64(packedBytes), machine.RatePack, 0)
 	st.PackWall += time.Since(t0)
 

@@ -154,6 +154,43 @@ func TestResumeMatchesFreshRun(t *testing.T) {
 			}
 		})
 	}
+
+	// Minimizer seeding rides the same snapshot path: the DHT boundary
+	// snapshots the (sparser) minimizer partitions, the manifest's config
+	// hash covers the window, and a P/2-elastic resume must reproduce the
+	// fresh minimizer run byte-for-byte. A window override on resume would
+	// change output and must be rejected like any output-affecting flag.
+	t.Run("minimizer/dht", func(t *testing.T) {
+		mcfg := cfg
+		mcfg.MinimizerWindow = 5
+		mfresh, err := Execute(p, nil, reads, mcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mfresh.Alignments == 0 {
+			t.Fatal("fresh minimizer run produced no alignments; nothing to compare")
+		}
+		mwant := pafBytes(t, mfresh, reads)
+		dir := t.TempDir()
+		killAt(t, p, reads, mcfg, dir, ckpt.StageDHT)
+		for _, resumeP := range []int{p, p / 2} {
+			rep, store, err := ExecuteResume(resumeP, nil, dir, nil, nil)
+			if err != nil {
+				t.Fatalf("minimizer resume at P=%d: %v", resumeP, err)
+			}
+			if rep.Config.MinimizerWindow != 5 {
+				t.Errorf("resume at P=%d lost the minimizer window: %d", resumeP, rep.Config.MinimizerWindow)
+			}
+			if got := pafBytesStore(t, rep, store); !bytes.Equal(mwant, got) {
+				t.Errorf("minimizer resume at P=%d: PAF diverges from fresh run (%d vs %d bytes)",
+					resumeP, len(got), len(mwant))
+			}
+		}
+		_, _, err = ExecuteResume(p, nil, dir, func(c *Config) { c.MinimizerWindow = 9 }, nil)
+		if err == nil || !strings.Contains(err.Error(), "output-affecting") {
+			t.Errorf("window override on resume: err = %v, want output-affecting rejection", err)
+		}
+	})
 }
 
 // TestResumeRejectsCorruptSegment: a truncated or bit-flipped segment

@@ -160,6 +160,9 @@ func (cfg *Config) setDefaults() error {
 	if cfg.ReplyDepth < 0 {
 		return fmt.Errorf("pipeline: negative reply stream depth %d", cfg.ReplyDepth)
 	}
+	if cfg.MinimizerWindow < 0 {
+		return fmt.Errorf("pipeline: negative minimizer window %d", cfg.MinimizerWindow)
+	}
 	return nil
 }
 
@@ -233,6 +236,44 @@ func (r *RankReport) breakdownOf(s StageName) stats.Breakdown {
 	default:
 		panic(fmt.Sprintf("pipeline: unknown stage %q", s))
 	}
+}
+
+// bytesPackedOf extracts a stage's exchange payload packed by this rank:
+// the bytes it contributed to the stage's all-to-alls.
+func (r *RankReport) bytesPackedOf(s StageName) int64 {
+	switch s {
+	case StageBloom:
+		return r.Bloom.BytesPacked
+	case StageHash:
+		return r.Hash.BytesPacked
+	case StageOverlap:
+		return r.Overlap.BytesPacked
+	case StageAlign:
+		return r.Align.BytesPacked
+	default:
+		panic(fmt.Sprintf("pipeline: unknown stage %q", s))
+	}
+}
+
+// StageExchangeBytes returns the stage's total exchange payload across all
+// ranks — the wire volume the stage's all-to-alls moved. This is the
+// quantity minimizer seeding shrinks; -breakdown prints it per stage.
+func (rep *Report) StageExchangeBytes(s StageName) int64 {
+	var total int64
+	for i := range rep.PerRank {
+		total += rep.PerRank[i].bytesPackedOf(s)
+	}
+	return total
+}
+
+// ExchangeBytes returns the run's total exchange payload across stages and
+// ranks.
+func (rep *Report) ExchangeBytes() int64 {
+	var total int64
+	for _, s := range Stages {
+		total += rep.StageExchangeBytes(s)
+	}
+	return total
 }
 
 // StageVirtual returns the stage's modeled elapsed time: the max over
@@ -596,14 +637,19 @@ func (rep *Report) pafRecords(name func(uint32) string) []paf.Record {
 	return out
 }
 
-// Summary renders the run the way diBELLA logs it. The sched field names
-// the exchange schedule; the overlap field is the fraction of exchange
-// cost hidden under computation by non-blocking or streamed exchanges (0%
-// for the bulk-synchronous schedule).
+// Summary renders the run the way diBELLA logs it. The seed field names
+// the seeding mode (exact k-mers or (w,k)-minimizers); the sched field the
+// exchange schedule; the overlap field is the fraction of exchange cost
+// hidden under computation by non-blocking or streamed exchanges (0% for
+// the bulk-synchronous schedule).
 func (rep *Report) Summary() string {
+	seed := "exact"
+	if rep.Config.MinimizerWindow > 1 {
+		seed = fmt.Sprintf("minimizer(w=%d)", rep.Config.MinimizerWindow)
+	}
 	return fmt.Sprintf(
-		"ranks=%d reads=%d k=%d m=%d retained=%d pairs=%d alignments=%d cells=%d sched=%s overlap=%.0f%% virtual=%.3fs wall=%v",
-		rep.Ranks, rep.Reads, rep.Config.K, rep.Config.MaxFreq,
+		"ranks=%d reads=%d k=%d m=%d seed=%s retained=%d pairs=%d alignments=%d cells=%d sched=%s overlap=%.0f%% virtual=%.3fs wall=%v",
+		rep.Ranks, rep.Reads, rep.Config.K, rep.Config.MaxFreq, seed,
 		rep.RetainedKmers, rep.Pairs, rep.Alignments, rep.Cells,
 		rep.Config.Exchange, rep.OverlapFraction()*100,
 		rep.VirtualTime, rep.WallTime.Round(time.Millisecond))
