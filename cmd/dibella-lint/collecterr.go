@@ -1,0 +1,128 @@
+package main
+
+// collecterr: errors (and commit decisions) from collective and
+// checkpoint operations must not be dropped.
+//
+// A rank that swallows a collective's error keeps running while its
+// peers unwind — the next collective pairs rank N's round r with rank
+// M's round r+1 and the world deadlocks or exchanges garbage. A dropped
+// AgreeCommit decision is worse: a rank that ignores the veto publishes
+// state the rest of the world agreed to discard.
+//
+// Checked calls are those declared in the spmd and ckpt packages whose
+// results include an error (or AgreeCommit's decision bool). A call is
+// flagged when it stands as an expression statement, is deferred or
+// spawned (`defer`/`go` discard results), or assigns the error/decision
+// position to the blank identifier. Teardown methods (Close, Abort)
+// are exempt: they run after the collective sequence is over.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var collecterrAnalyzer = &Analyzer{
+	Name: "collecterr",
+	Doc:  "flags dropped errors and commit decisions from collective/checkpoint operations",
+	Run:  runCollecterr,
+}
+
+func runCollecterr(p *Pkg, cfg *Config, report reporter) {
+	for _, fd := range funcDecls(p) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, what, ok := checkedCall(p.Info, cfg, call); ok {
+						report(call.Pos(), "%s of %s is dropped: a silently ignored %[1]s desynchronizes the world", what, name)
+					}
+				}
+				return false
+			case *ast.DeferStmt:
+				if name, what, ok := checkedCall(p.Info, cfg, n.Call); ok {
+					report(n.Call.Pos(), "deferred %s drops its %s: a silently ignored %[2]s desynchronizes the world", name, what)
+				}
+			case *ast.GoStmt:
+				if name, what, ok := checkedCall(p.Info, cfg, n.Call); ok {
+					report(n.Call.Pos(), "go %s drops its %s: a silently ignored %[2]s desynchronizes the world", name, what)
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, what, ok := checkedCall(p.Info, cfg, call)
+				if !ok {
+					return true
+				}
+				idx := checkedResultIndex(p.Info, cfg, call)
+				if idx < len(n.Lhs) && isBlank(n.Lhs[idx]) {
+					report(n.Lhs[idx].Pos(), "%s of %s assigned to _: a silently ignored %[1]s desynchronizes the world", what, name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkedCall reports whether the call is a collective/checkpoint
+// operation whose error (or commit decision) must be consumed, naming
+// the operation and what must not be dropped ("error" or
+// "commit decision").
+func checkedCall(info *types.Info, cfg *Config, call *ast.CallExpr) (name, what string, ok bool) {
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return "", "", false
+	}
+	path := pkgPathOf(fn)
+	if path != cfg.SpmdPath && path != cfg.CkptPath {
+		return "", "", false
+	}
+	if cfg.CollecterrExclude[fn.Name()] {
+		return "", "", false
+	}
+	sig := fn.Type().(*types.Signature)
+	qual := fn.Name()
+	if sig.Recv() != nil {
+		qual = recvTypeName(sig) + "." + fn.Name()
+	}
+	if path == cfg.SpmdPath && fn.Name() == "AgreeCommit" {
+		return "spmd." + qual, "commit decision", true
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", "", false
+	}
+	if isErrorType(res.At(res.Len() - 1).Type()) {
+		pkgName := "spmd."
+		if path == cfg.CkptPath {
+			pkgName = "ckpt."
+		}
+		return pkgName + qual, "error", true
+	}
+	return "", "", false
+}
+
+// checkedResultIndex returns the tuple position of the checked result:
+// the final error, or AgreeCommit's decision bool.
+func checkedResultIndex(info *types.Info, cfg *Config, call *ast.CallExpr) int {
+	fn := calleeOf(info, call)
+	sig := fn.Type().(*types.Signature)
+	if pkgPathOf(fn) == cfg.SpmdPath && fn.Name() == "AgreeCommit" {
+		return 1
+	}
+	return sig.Results().Len() - 1
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

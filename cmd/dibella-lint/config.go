@@ -1,0 +1,101 @@
+package main
+
+// Analyzer configuration: which packages each analyzer audits and the
+// name sets that define the repo's collective / pricing / transport
+// surfaces. Kept as data (not hard-coded in the analyzers) so the tests
+// can point the same analyzers at fixture packages and so follow-up work
+// (serve mode, distributed string graph) can extend the audited surface
+// by editing one file.
+
+// Config carries the per-analyzer package lists and symbol sets.
+type Config struct {
+	// SpmdPath is the import path of the SPMD runtime package whose
+	// collective call surface spmdorder/modeledcost/collecterr key on.
+	SpmdPath string
+	// CkptPath is the import path of the checkpoint package whose
+	// commit operations collecterr keys on.
+	CkptPath string
+
+	// CollectiveFuncs are the package-level collective functions of
+	// SpmdPath: every rank must call them in the same order.
+	CollectiveFuncs map[string]bool
+	// CollectiveMethods are collective methods on SpmdPath types
+	// (Comm.Barrier, Handle.Wait, ...), keyed by method name.
+	CollectiveMethods map[string]bool
+
+	// DetmapPackages are import-path prefixes of the output-affecting
+	// packages detmap audits: a nondeterministic iteration there can
+	// change the bytes of the PAF output or a checkpoint digest.
+	DetmapPackages []string
+
+	// TransportTypes names the SpmdPath interface types whose method
+	// calls move bytes (modeledcost call sites), mapped to the method
+	// names that actually post or complete an exchange.
+	TransportTypes map[string]map[string]bool
+	// PricingMethods are the cost-model methods that price communication
+	// or snapshot I/O; a function (transitively, within its package)
+	// calling one of these is considered to price its transport calls.
+	PricingMethods map[string]bool
+	// PricedCommitMethods maps "Type.Method" of CkptPath operations that
+	// perform modeled I/O (modeledcost requires their callers to price).
+	PricedCommitMethods map[string]bool
+
+	// CollecterrExclude lists SpmdPath/CkptPath method names whose
+	// dropped results collecterr tolerates (non-collective teardown).
+	CollecterrExclude map[string]bool
+}
+
+// DefaultConfig audits this repository.
+func DefaultConfig() *Config {
+	return &Config{
+		SpmdPath: "dibella/internal/spmd",
+		CkptPath: "dibella/internal/ckpt",
+		CollectiveFuncs: set(
+			"Alltoallv", "Alltoall", "AlltoallvPacked",
+			"IAlltoallv", "IAlltoallvPacked", "IAlltoallvStreamed",
+			"Allgather", "AllreduceI64", "AllreduceF64",
+			"Bcast", "ExclusiveScanI64", "GatherTo",
+			"MaxReduceRegisters", "AgreeCommit",
+		),
+		CollectiveMethods: set("Barrier", "Wait"),
+		DetmapPackages: []string{
+			"dibella/internal/dht",
+			"dibella/internal/overlap",
+			"dibella/internal/olgraph",
+			"dibella/internal/paf",
+			"dibella/internal/pipeline",
+			"dibella/internal/ckpt",
+		},
+		TransportTypes: map[string]map[string]bool{
+			"Transport":       set("Alltoallv", "IAlltoallv", "Allgather", "Barrier"),
+			"PendingExchange": set("Wait"),
+		},
+		PricingMethods: set(
+			"AlltoallvTime", "CollectiveTime", "IPostTime",
+			"StreamChunkTime", "ChunkPostTime", "SnapshotTime",
+		),
+		PricedCommitMethods: set("Writer.Snapshot"),
+		// Close is the graceful teardown after the last collective and
+		// Abort is the poison path: neither can desynchronize a world
+		// that is already unwinding.
+		CollecterrExclude: set("Close", "Abort"),
+	}
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// detmapAudited reports whether detmap audits the package.
+func (cfg *Config) detmapAudited(importPath string) bool {
+	for _, p := range cfg.DetmapPackages {
+		if importPath == p || len(importPath) > len(p) && importPath[:len(p)+1] == p+"/" {
+			return true
+		}
+	}
+	return false
+}

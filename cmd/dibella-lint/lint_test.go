@@ -1,0 +1,141 @@
+package main
+
+// Table-driven fixture tests. Each package under testdata/src encodes its
+// expected diagnostics as comments:
+//
+//	// want <analyzer>:"substring"      unsuppressed diagnostic on this line
+//	// wantsup <analyzer>:"substring"   suppressed diagnostic on this line
+//	// want(-1) <analyzer>:"substring"  diagnostic one line above
+//
+// The fixtures are real compiled packages, loaded through the same
+// go list / export-data path as production runs and importing the real
+// spmd / machine / ckpt packages, so the analyzers' type resolution is
+// exercised end to end. They live under testdata/ precisely because go
+// wildcards skip it: `dibella-lint ./...` never audits the
+// intentionally-bad code, but the explicit import paths below still load.
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const fixtureBase = "dibella/cmd/dibella-lint/testdata/src/"
+
+type expectation struct {
+	file       string
+	line       int
+	analyzer   string
+	substr     string
+	suppressed bool
+	matched    bool
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want(sup)?(?:\((-?\d+)\))?\s+(\w+):"([^"]*)"`)
+
+// collectExpectations parses the // want comments of a loaded package.
+func collectExpectations(t *testing.T, p *Pkg) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				offset := 0
+				if m[2] != "" {
+					var err error
+					if offset, err = strconv.Atoi(m[2]); err != nil {
+						t.Fatalf("%s:%d: bad want offset %q", pos.Filename, pos.Line, m[2])
+					}
+				}
+				wants = append(wants, &expectation{
+					file:       pos.Filename,
+					line:       pos.Line + offset,
+					analyzer:   m[3],
+					substr:     m[4],
+					suppressed: m[1] == "sup",
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched expectation the diagnostic satisfies.
+func claim(wants []*expectation, d Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.File || w.line != d.Line || w.analyzer != d.Analyzer {
+			continue
+		}
+		if !strings.Contains(d.Message, w.substr) {
+			continue
+		}
+		if w.suppressed != (d.Suppressed != "") {
+			continue
+		}
+		w.matched = true
+		return true
+	}
+	return false
+}
+
+func TestFixtures(t *testing.T) {
+	fixtures := []string{"spmdorder", "detmap", "modeledcost", "collecterr"}
+	patterns := make([]string, len(fixtures))
+	for i, f := range fixtures {
+		patterns[i] = fixtureBase + f
+	}
+	cfg := DefaultConfig()
+	// The detmap fixture stands in for an output-affecting package.
+	cfg.DetmapPackages = append(cfg.DetmapPackages, fixtureBase+"detmap")
+
+	pkgs, err := loadPackages(patterns)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) != len(fixtures) {
+		t.Fatalf("loaded %d fixture packages, want %d", len(pkgs), len(fixtures))
+	}
+	for _, p := range pkgs {
+		name := strings.TrimPrefix(p.ImportPath, fixtureBase)
+		t.Run(name, func(t *testing.T) {
+			wants := collectExpectations(t, p)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s declares no expectations", p.ImportPath)
+			}
+			// Every fixture must show its analyzer both catching a
+			// violation (unsuppressed want) and letting clean code pass
+			// (the Good* functions, checked by the unexpected-diagnostic
+			// loop below).
+			caught := false
+			for _, w := range wants {
+				caught = caught || w.analyzer == name && !w.suppressed
+			}
+			if !caught {
+				t.Errorf("fixture %s has no unsuppressed %s expectation", p.ImportPath, name)
+			}
+
+			diags := runAnalyzers(p, cfg, allAnalyzers())
+			for _, d := range diags {
+				if !claim(wants, d) {
+					t.Errorf("unexpected diagnostic %s:%d: %s: %s (suppressed=%q)",
+						d.File, d.Line, d.Analyzer, d.Message, d.Suppressed)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					kind := "diagnostic"
+					if w.suppressed {
+						kind = "suppressed diagnostic"
+					}
+					t.Errorf("missing %s at %s:%d: %s:%q", kind, w.file, w.line, w.analyzer, w.substr)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package main
+
+// Package loading without golang.org/x/tools: packages are enumerated
+// with `go list -json`, their dependencies' type information comes from
+// the compiler's export data (`go list -deps -export -json` builds and
+// names the export files), and each audited package is parsed and
+// type-checked from source against that export data. This gives the
+// analyzers full go/types resolution using only the standard library.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Pkg is one loaded, type-checked package.
+type Pkg struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader uses.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` with the given flags and patterns and decodes the
+// JSON package stream.
+func goList(flags []string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list"}, flags...)
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listedPkg
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportMap builds import path → export data file for the full dependency
+// closure of patterns, compiling as needed.
+func exportMap(patterns []string) (map[string]string, error) {
+	pkgs, err := goList([]string{"-deps", "-export", "-json"}, patterns)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m, nil
+}
+
+// exportImporter resolves imports from compiler export data.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// typecheckDir parses and type-checks the named .go files of one package
+// directory against the export map. Source positions land in fset.
+func typecheckDir(fset *token.FileSet, importPath, dir string, goFiles []string,
+	exports map[string]string) (*Pkg, error) {
+
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: exportImporter(fset, exports)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &Pkg{ImportPath: importPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// loadPackages loads every package matching patterns, type-checked and
+// ready for analysis.
+func loadPackages(patterns []string) ([]*Pkg, error) {
+	targets, err := goList([]string{"-json"}, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportMap(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Pkg
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if t.Standard || len(t.GoFiles) == 0 {
+			continue
+		}
+		p, err := typecheckDir(fset, t.ImportPath, t.Dir, t.GoFiles, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

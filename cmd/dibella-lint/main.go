@@ -1,0 +1,86 @@
+// Command dibella-lint statically enforces the repository's SPMD,
+// determinism, and cost-model invariants (see docs/LINT.md):
+//
+//	spmdorder    collectives must not be control-dependent on the rank
+//	detmap       no map-iteration order, time.Now, or math/rand in
+//	             output-affecting packages
+//	modeledcost  transport/commit call sites must be priced by a
+//	             machine.Model call — nothing is modeled as free
+//	collecterr   collective/checkpoint errors must not be dropped
+//
+// Usage:
+//
+//	dibella-lint [-json] [packages ...]
+//
+// Packages default to ./... and use `go list` syntax. Diagnostics are
+// suppressed per line with `//lint:ignore <analyzer> <reason>` (reason
+// mandatory). Exit status: 0 clean, 1 diagnostics, 2 load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	showSuppressed := flag.Bool("suppressed", false, "also print suppressed diagnostics (with their reasons)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dibella-lint [-json] [-suppressed] [packages ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cfg := DefaultConfig()
+	pkgs, err := loadPackages(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dibella-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var all []Diagnostic
+	for _, p := range pkgs {
+		all = append(all, runAnalyzers(p, cfg, allAnalyzers())...)
+	}
+
+	failing := 0
+	var shown []Diagnostic
+	for _, d := range all {
+		if d.Suppressed == "" {
+			failing++
+			shown = append(shown, d)
+		} else if *showSuppressed {
+			shown = append(shown, d)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if shown == nil {
+			shown = []Diagnostic{}
+		}
+		if err := enc.Encode(shown); err != nil {
+			fmt.Fprintf(os.Stderr, "dibella-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range shown {
+			suffix := ""
+			if d.Suppressed != "" {
+				suffix = fmt.Sprintf(" (suppressed: %s)", d.Suppressed)
+			}
+			fmt.Printf("%s:%d:%d: %s: %s%s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message, suffix)
+		}
+	}
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "dibella-lint: %d diagnostic(s)\n", failing)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,189 @@
+package main
+
+// modeledcost: nothing is modeled as free.
+//
+// Every mechanism that moves bytes — a transport exchange, a posted
+// chunk, a snapshot write — must advance the virtual clock through a
+// machine.Model pricing call, or the modeled virtual_seconds series
+// (the repo's perf trajectory) silently undercounts the new mechanism.
+//
+// The analyzer finds call sites of the byte-moving operations: methods
+// invoked through the spmd.Transport / spmd.PendingExchange interfaces,
+// plus checkpoint commits (ckpt.Writer.Snapshot). The enclosing function
+// must price: it must call one of the cost-model methods (AlltoallvTime,
+// CollectiveTime, IPostTime, StreamChunkTime, ChunkPostTime,
+// SnapshotTime), directly or through a same-package helper (the closure
+// is computed to a fixpoint, so spmd's modelAlltoallv-style wrappers
+// count).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var modeledcostAnalyzer = &Analyzer{
+	Name: "modeledcost",
+	Doc:  "flags transport/commit call sites not paired with a cost-model pricing call",
+	Run:  runModeledcost,
+}
+
+func runModeledcost(p *Pkg, cfg *Config, report reporter) {
+	pricing := pricingClosure(p, cfg)
+	transportIfaces := transportInterfaces(p, cfg)
+	for _, fd := range funcDecls(p) {
+		fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+		if fn != nil && implementsTransport(fn, transportIfaces) {
+			// Methods of a Transport implementation are the mechanism
+			// being priced (by the typed spmd.Comm layer above), not
+			// consumers of it.
+			continue
+		}
+		priced := fn != nil && pricing[fn]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := isByteMovingCall(p.Info, cfg, call); ok && !priced {
+				report(n.Pos(), "%s moves bytes but no machine.Model pricing call reaches this function: nothing is modeled as free", name)
+			}
+			return true
+		})
+	}
+}
+
+// isByteMovingCall reports whether the call posts or completes a
+// transport exchange (through the Transport/PendingExchange interfaces)
+// or commits a checkpoint snapshot.
+func isByteMovingCall(info *types.Info, cfg *Config, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	switch pkgPathOf(fn) {
+	case cfg.SpmdPath:
+		// Interface dispatch only: the concrete mem/tcp implementations
+		// are the mechanism being priced, not consumers of it.
+		recv := sig.Recv().Type()
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		if _, isIface := named.Underlying().(*types.Interface); !isIface {
+			return "", false
+		}
+		methods, audited := cfg.TransportTypes[named.Obj().Name()]
+		if audited && methods[fn.Name()] {
+			return named.Obj().Name() + "." + sel.Sel.Name, true
+		}
+	case cfg.CkptPath:
+		qual := recvTypeName(sig) + "." + fn.Name()
+		if cfg.PricedCommitMethods[qual] {
+			return qual, true
+		}
+	}
+	return "", false
+}
+
+// transportInterfaces resolves the configured byte-moving interface types
+// (spmd.Transport, spmd.PendingExchange) in this package's import graph.
+func transportInterfaces(p *Pkg, cfg *Config) []*types.Interface {
+	var spmdPkg *types.Package
+	if p.Types.Path() == cfg.SpmdPath {
+		spmdPkg = p.Types
+	} else {
+		for _, imp := range p.Types.Imports() {
+			if imp.Path() == cfg.SpmdPath {
+				spmdPkg = imp
+				break
+			}
+		}
+	}
+	if spmdPkg == nil {
+		return nil
+	}
+	var ifaces []*types.Interface
+	for name := range cfg.TransportTypes {
+		if obj, ok := spmdPkg.Scope().Lookup(name).(*types.TypeName); ok {
+			if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+				ifaces = append(ifaces, iface)
+			}
+		}
+	}
+	return ifaces
+}
+
+// implementsTransport reports whether fn is a method whose receiver type
+// implements one of the transport interfaces.
+func implementsTransport(fn *types.Func, ifaces []*types.Interface) bool {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	for _, iface := range ifaces {
+		if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
+			return true
+		}
+	}
+	return false
+}
+
+// pricingClosure computes the package's functions that price modeled
+// cost: those calling a cost-model method directly, plus (to a fixpoint)
+// those calling a same-package function already in the closure.
+func pricingClosure(p *Pkg, cfg *Config) map[*types.Func]bool {
+	// calls maps each declared function to the same-package functions it
+	// calls.
+	calls := make(map[*types.Func]map[*types.Func]bool)
+	closure := make(map[*types.Func]bool)
+	for _, fd := range funcDecls(p) {
+		fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		out := make(map[*types.Func]bool)
+		calls[fn] = out
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(p.Info, call)
+			if callee == nil {
+				return true
+			}
+			if cfg.PricingMethods[callee.Name()] {
+				closure[fn] = true
+			}
+			if callee.Pkg() == p.Types {
+				out[callee] = true
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if closure[fn] {
+				continue
+			}
+			for callee := range callees {
+				if closure[callee] {
+					closure[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return closure
+}

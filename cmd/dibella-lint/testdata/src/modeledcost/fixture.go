@@ -1,0 +1,52 @@
+// Package modeledcost is a dibella-lint test fixture: transport calls
+// with and without a machine.Model pricing call in reach. Expected
+// diagnostics are encoded in the // want comments (see lint_test.go).
+package modeledcost
+
+import (
+	"dibella/internal/machine"
+	"dibella/internal/spmd"
+)
+
+// BadUnpriced exchanges bytes with no machine.Model pricing in reach:
+// the virtual_seconds series would undercount this mechanism.
+func BadUnpriced(tr spmd.Transport, send [][]byte) [][]byte {
+	recv, _, _, err := tr.Alltoallv(send, 0, 0) // want modeledcost:"nothing is modeled as free"
+	if err != nil {
+		panic(err)
+	}
+	return recv
+}
+
+// BadUnpricedWait completes a posted exchange without pricing it.
+func BadUnpricedWait(pe spmd.PendingExchange) error {
+	_, _, _, err := pe.Wait() // want modeledcost:"PendingExchange.Wait"
+	return err
+}
+
+// GoodPriced prices the exchange directly.
+func GoodPriced(m *machine.Model, tr spmd.Transport, send [][]byte, maxBytes float64) ([][]byte, error) {
+	cost := m.AlltoallvTime(0, maxBytes)
+	recv, _, _, err := tr.Alltoallv(send, cost, maxBytes)
+	return recv, err
+}
+
+// GoodPricedViaHelper prices through a same-package helper: the pricing
+// closure is computed to a fixpoint, so wrapper layers count.
+func GoodPricedViaHelper(m *machine.Model, pe spmd.PendingExchange) error {
+	advance(m)
+	_, _, _, err := pe.Wait()
+	return err
+}
+
+func advance(m *machine.Model) float64 { return m.IPostTime() }
+
+// SuppressedTransfer documents why this call is free; the diagnostic is
+// emitted but suppressed.
+func SuppressedTransfer(tr spmd.Transport, send [][]byte) {
+	//lint:ignore modeledcost fixture exercising the suppression path
+	_, _, _, err := tr.Alltoallv(send, 0, 0) // wantsup modeledcost:"Transport.Alltoallv"
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Package spmdorder is a dibella-lint test fixture: collectives that are
+// (and are not) control-dependent on the rank. Expected diagnostics are
+// encoded in the // want comments (see lint_test.go).
+package spmdorder
+
+import "dibella/internal/spmd"
+
+// BadRankBranch puts a collective under a rank test: the classic SPMD
+// divergence bug — rank 0 enters the barrier, the rest never arrive.
+func BadRankBranch(c *spmd.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier() // want spmdorder:"control-dependent on the rank"
+	}
+}
+
+// BadTaintedGuard reaches the collective through a variable derived from
+// the rank, exercising the taint fixpoint.
+func BadTaintedGuard(c *spmd.Comm) int64 {
+	leader := c.Rank() == 0
+	var total int64
+	if leader {
+		total = spmd.AllreduceI64(c, 1, spmd.OpSum) // want spmdorder:"AllreduceI64"
+	}
+	return total
+}
+
+// BadRankLoop runs a rank-dependent trip count around a collective, so
+// different ranks issue different collective sequences.
+func BadRankLoop(c *spmd.Comm) {
+	for i := 0; i < c.Rank(); i++ {
+		c.Barrier() // want spmdorder:"Comm.Barrier"
+	}
+}
+
+// GoodComputeThenShare is the sanctioned idiom: rank-conditional *local*
+// work, then an unconditional collective shares the result.
+func GoodComputeThenShare(c *spmd.Comm) int {
+	v := 0
+	if c.Rank() == 0 {
+		v = 42
+	}
+	return spmd.Bcast(c, v, 0)
+}
+
+// GoodUnconditional collectives are never flagged.
+func GoodUnconditional(c *spmd.Comm) int64 {
+	c.Barrier()
+	return spmd.AllreduceI64(c, 1, spmd.OpMax)
+}
+
+// SuppressedDiagnostic carries a reasoned //lint:ignore: the diagnostic
+// is still emitted but marked suppressed and does not fail the run.
+func SuppressedDiagnostic(c *spmd.Comm) {
+	if c.Rank() == 0 {
+		//lint:ignore spmdorder fixture exercising the suppression path
+		c.Barrier() // wantsup spmdorder:"control-dependent"
+	}
+}
+
+// MissingReason shows that a reasonless directive is itself a diagnostic
+// and suppresses nothing.
+func MissingReason(c *spmd.Comm) {
+	if c.Rank() == 0 {
+		//lint:ignore spmdorder
+		// want(-1) suppress:"need an analyzer name and a reason"
+		c.Barrier() // want spmdorder:"control-dependent"
+	}
+}

@@ -80,13 +80,12 @@ type Manifest struct {
 // Latest returns the most advanced committed stage snapshot (the resume
 // point), ok=false when the manifest records none.
 func (m *Manifest) Latest() (StageInfo, bool) {
-	best, bestOrder := StageInfo{}, -1
-	for _, st := range m.Stages {
-		if o := StageOrder(st.Stage); o > bestOrder {
-			best, bestOrder = st, o
+	for i := len(Stages) - 1; i >= 0; i-- {
+		if st, ok := m.Stages[Stages[i]]; ok {
+			return st, true
 		}
 	}
-	return best, bestOrder >= 0
+	return StageInfo{}, false
 }
 
 // ManifestPath returns the manifest's location inside a checkpoint

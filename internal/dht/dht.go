@@ -2,7 +2,7 @@ package dht
 
 import (
 	"fmt"
-	"time"
+	"sort"
 
 	"dibella/internal/bella"
 	"dibella/internal/bloom"
@@ -11,6 +11,7 @@ import (
 	"dibella/internal/machine"
 	"dibella/internal/spmd"
 	"dibella/internal/stats"
+	"dibella/internal/walltime"
 )
 
 // Occ is a compact k-mer occurrence: the read it was seen in and its
@@ -55,11 +56,18 @@ type Partition struct {
 // partition.
 func (p *Partition) Retained() int { return len(p.Table) }
 
-// ForEach visits every retained k-mer. Iteration order is map order
-// (unspecified); consumers needing determinism must sort.
+// ForEach visits every retained k-mer in ascending k-mer order. The
+// deterministic order costs one key sort per call but means consumers
+// (the overlap stage packs exchange payloads straight out of this loop)
+// cannot leak Go's randomized map order into wire bytes or output.
 func (p *Partition) ForEach(fn func(km kmer.Kmer, occs []Occ)) {
-	for km, e := range p.Table {
-		fn(km, e.Occs)
+	kms := make([]kmer.Kmer, 0, len(p.Table))
+	for km := range p.Table {
+		kms = append(kms, km)
+	}
+	sort.Slice(kms, func(i, j int) bool { return kms[i] < kms[j] })
+	for _, km := range kms {
+		fn(km, p.Table[km].Occs)
 	}
 }
 
@@ -238,11 +246,11 @@ func Build(c *spmd.Comm, model *machine.Model, reads LocalReads, cfg Config) (*P
 
 	// Pass 2: occurrence accumulation and pruning.
 	stats.Hash = hashPass(c, pr, reads, cfg, rounds, part)
-	t0 := time.Now()
+	t0 := walltime.Now()
 	prunedS, prunedH := prune(part)
 	stats.Hash.LocalVirtual += pr.tick(float64(stats.TableEntries),
 		machine.RateHTPrune, float64(stats.TableEntries)*64)
-	stats.Hash.LocalWall += time.Since(t0)
+	stats.Hash.LocalWall += walltime.Since(t0)
 	stats.PrunedSingleton, stats.PrunedHighFreq = prunedS, prunedH
 	stats.Retained = len(part.Table)
 	return part, stats, nil
@@ -392,7 +400,7 @@ func bloomPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int
 		return float64(filter.SizeBytes()) + float64(len(part.Table))*48
 	}
 	pack := func() [][]kmer.Kmer {
-		t0 := time.Now()
+		t0 := walltime.Now()
 		send := make([][]kmer.Kmer, p)
 		parsed := int64(0)
 		for parsed < int64(cfg.MaxKmersPerRound) {
@@ -408,15 +416,15 @@ func bloomPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int
 		// a minimizer stream reads the full bag to select its windows'
 		// minima, and nothing is modeled as free.
 		st.LocalVirtual += pr.tick(float64(str.takeScanned()), machine.RateParse, ws())
-		st.LocalWall += time.Since(t0)
-		t0 = time.Now()
+		st.LocalWall += walltime.Since(t0)
+		t0 = walltime.Now()
 		st.BytesPacked += parsed * 8
 		st.PackVirtual += pr.tick(float64(parsed*8), machine.RatePack, ws())
-		st.PackWall += time.Since(t0)
+		st.PackWall += walltime.Since(t0)
 		return send
 	}
 	process := func(recv [][]kmer.Kmer) {
-		t0 := time.Now()
+		t0 := walltime.Now()
 		received := int64(0)
 		for _, batch := range recv {
 			for _, km := range batch {
@@ -430,7 +438,7 @@ func bloomPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int
 		}
 		st.KmersReceived += received
 		st.LocalVirtual += pr.tick(float64(received), machine.RateBloomInsert, ws())
-		st.LocalWall += time.Since(t0)
+		st.LocalWall += walltime.Since(t0)
 	}
 	runRounds(c, &st, cfg, rounds, pack, process)
 	return st
@@ -452,7 +460,7 @@ func hashPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int,
 	str := newStream(reads, cfg.K, cfg.MinimizerWindow)
 	ws := func() float64 { return float64(len(part.Table)) * 64 }
 	pack := func() [][]occMsg {
-		t0 := time.Now()
+		t0 := walltime.Now()
 		send := make([][]occMsg, p)
 		parsed := int64(0)
 		for parsed < int64(cfg.MaxKmersPerRound) {
@@ -468,15 +476,15 @@ func hashPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int,
 		// Full scan priced, as in bloomPass: minimizer selection is not
 		// free even though only the minima travel.
 		st.LocalVirtual += pr.tick(float64(str.takeScanned()), machine.RateParse, ws())
-		st.LocalWall += time.Since(t0)
-		t0 = time.Now()
+		st.LocalWall += walltime.Since(t0)
+		t0 = walltime.Now()
 		st.BytesPacked += parsed * 16
 		st.PackVirtual += pr.tick(float64(parsed*16), machine.RatePack, ws())
-		st.PackWall += time.Since(t0)
+		st.PackWall += walltime.Since(t0)
 		return send
 	}
 	process := func(recv [][]occMsg) {
-		t0 := time.Now()
+		t0 := walltime.Now()
 		received := int64(0)
 		for _, batch := range recv {
 			for _, msg := range batch {
@@ -493,7 +501,7 @@ func hashPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int,
 		}
 		st.KmersReceived += received
 		st.LocalVirtual += pr.tick(float64(received), machine.RateHTInsert, ws())
-		st.LocalWall += time.Since(t0)
+		st.LocalWall += walltime.Since(t0)
 	}
 	runRounds(c, &st, cfg, rounds, pack, process)
 	return st

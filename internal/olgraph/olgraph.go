@@ -256,16 +256,20 @@ func (g *Graph) LayoutEstimate(component []uint32, readLen func(uint32) int) int
 		inComp[v] = true
 	}
 	// Maximum-weight spanning tree via Prim's algorithm (dense enough for
-	// component sizes here).
+	// component sizes here). The tree set is scanned as a slice in
+	// insertion order, with weight ties broken toward the smaller vertex
+	// id, so the grown tree never depends on map iteration order.
 	visited := map[uint32]bool{component[0]: true}
+	order := []uint32{component[0]}
 	treeWeight := 0
-	for len(visited) < len(component) {
+	for len(order) < len(component) {
 		bestW := -1
 		var bestV uint32
-		for v := range visited {
+		for _, v := range order {
 			for _, e := range g.adj[v] {
 				w := other(e, v)
-				if inComp[w] && !visited[w] && e.Weight > bestW {
+				if inComp[w] && !visited[w] &&
+					(e.Weight > bestW || e.Weight == bestW && w < bestV) {
 					bestW = e.Weight
 					bestV = w
 				}
@@ -275,6 +279,7 @@ func (g *Graph) LayoutEstimate(component []uint32, readLen func(uint32) int) int
 			break // disconnected within the supplied set
 		}
 		visited[bestV] = true
+		order = append(order, bestV)
 		treeWeight += bestW
 	}
 	est := total - treeWeight

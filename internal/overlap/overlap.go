@@ -15,13 +15,13 @@ package overlap
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"dibella/internal/dht"
 	"dibella/internal/kmer"
 	"dibella/internal/machine"
 	"dibella/internal/spmd"
 	"dibella/internal/stats"
+	"dibella/internal/walltime"
 )
 
 // Pair identifies an unordered read pair, stored with A < B.
@@ -152,7 +152,7 @@ func Run(c *spmd.Comm, model *machine.Model, part *dht.Partition, owner OwnerFun
 
 	// Algorithm 1: enumerate occurrence pairs per retained k-mer and
 	// buffer each task for the owner chosen by the odd/even heuristic.
-	t0 := time.Now()
+	t0 := walltime.Now()
 	send := make([][]taskMsg, c.Size())
 	part.ForEach(func(_ kmer.Kmer, occs []dht.Occ) {
 		st.RetainedScanned++
@@ -183,23 +183,23 @@ func Run(c *spmd.Comm, model *machine.Model, part *dht.Partition, owner OwnerFun
 	})
 	st.LocalVirtual += price(c, model, float64(st.RetainedScanned), machine.RateOverlapScan) +
 		price(c, model, float64(st.PairsGenerated), machine.RatePairGen)
-	st.LocalWall += time.Since(t0)
+	st.LocalWall += walltime.Since(t0)
 
-	t0 = time.Now()
+	t0 = walltime.Now()
 	st.BytesPacked = st.PairsGenerated * 16
 	st.PackVirtual += price(c, model, float64(st.BytesPacked), machine.RatePack)
-	st.PackWall += time.Since(t0)
+	st.PackWall += walltime.Since(t0)
 
 	// Irregular all-to-all of buffered tasks.
-	t0 = time.Now()
+	t0 = walltime.Now()
 	pre := c.Stats()
 	recv := spmd.Alltoallv(c, send)
 	post := c.Stats()
 	st.ExchangeVirtual += post.ExchangeVirtual - pre.ExchangeVirtual
-	st.ExchangeWall += time.Since(t0)
+	st.ExchangeWall += walltime.Since(t0)
 
 	// Consolidate per-pair seed lists.
-	t0 = time.Now()
+	t0 = walltime.Now()
 	byPair := make(map[Pair][]Seed)
 	for _, batch := range recv {
 		for _, msg := range batch {
@@ -228,7 +228,7 @@ func Run(c *spmd.Comm, model *machine.Model, part *dht.Partition, owner OwnerFun
 		return tasks[i].Pair.B < tasks[j].Pair.B
 	})
 	st.LocalVirtual += price(c, model, float64(seedsIn), machine.RateSeedPrep)
-	st.LocalWall += time.Since(t0)
+	st.LocalWall += walltime.Since(t0)
 	return tasks, st, nil
 }
 

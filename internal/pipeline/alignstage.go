@@ -3,7 +3,6 @@ package pipeline
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"dibella/internal/align"
 	"dibella/internal/dna"
@@ -12,6 +11,7 @@ import (
 	"dibella/internal/overlap"
 	"dibella/internal/spmd"
 	"dibella/internal/stats"
+	"dibella/internal/walltime"
 )
 
 // AlignStats is the alignment stage's per-rank accounting (§9).
@@ -216,7 +216,7 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	}
 
 	// Identify the remote reads this rank needs, deduplicated, per owner.
-	t0 := time.Now()
+	t0 := walltime.Now()
 	needed := make(map[uint32]bool)
 	for _, task := range tasks {
 		if !view.Owns(task.Pair.A) {
@@ -236,7 +236,7 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	}
 	st.BytesPacked += int64(len(needed)) * 4 // request payload: one uint32 ID per wanted read
 	st.LocalVirtual += price(c, model, float64(len(needed)), machine.RatePairGen, 0)
-	st.LocalWall += time.Since(t0)
+	st.LocalWall += walltime.Since(t0)
 
 	// Request exchange: ship wanted IDs to their owners. Under the
 	// overlapped schedule, align the all-local tasks while it flies.
@@ -244,7 +244,7 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	var remote []overlap.Task
 	if async {
 		reqH := spmd.IAlltoallv(c, reqs)
-		t0 = time.Now()
+		t0 = walltime.Now()
 		for _, task := range tasks {
 			if view.Owns(task.Pair.A) && view.Owns(task.Pair.B) {
 				al.alignTask(task)
@@ -252,7 +252,7 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 				remote = append(remote, task)
 			}
 		}
-		st.LocalWall += time.Since(t0)
+		st.LocalWall += walltime.Since(t0)
 		incoming = reqH.Wait()
 	} else {
 		remote = tasks
@@ -261,7 +261,7 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 
 	// Reply packing: each owner packs the requested sequences, in request
 	// order, so no IDs need to travel back.
-	t0 = time.Now()
+	t0 = walltime.Now()
 	replies := make([]spmd.PackedBufs, p)
 	var packedBytes int64
 	for src, ids := range incoming {
@@ -273,7 +273,7 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	}
 	st.BytesPacked += packedBytes // reply payload: the requested sequences
 	st.PackVirtual += price(c, model, float64(packedBytes), machine.RatePack, 0)
-	st.PackWall += time.Since(t0)
+	st.PackWall += walltime.Since(t0)
 
 	// Reply exchange. The streamed schedule installs replicas and aligns
 	// newly-ready tasks as chunks land; the other schedules exchange the
@@ -289,13 +289,13 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	var got []spmd.PackedBufs
 	if async {
 		repH := spmd.IAlltoallvPacked(c, replies)
-		t0 = time.Now()
+		t0 = walltime.Now()
 		for _, task := range remote {
 			if view.Owns(task.Pair.B) && needsRC(task) {
 				al.revComp(task.Pair.B, view.Seq(task.Pair.B))
 			}
 		}
-		st.LocalWall += time.Since(t0)
+		st.LocalWall += walltime.Since(t0)
 		got = repH.Wait()
 	} else {
 		got = spmd.AlltoallvPacked(c, replies)
@@ -303,7 +303,7 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 	addComm(&st.Breakdown, preComm, c.Stats())
 
 	// Replica installation.
-	t0 = time.Now()
+	t0 = walltime.Now()
 	for src := 0; src < p; src++ {
 		items := got[src].Items()
 		for i, id := range reqs[src] {
@@ -313,14 +313,14 @@ func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
 		}
 	}
 	st.LocalVirtual += price(c, model, float64(st.FetchedBytes), machine.RatePack, 0)
-	st.LocalWall += time.Since(t0)
+	st.LocalWall += walltime.Since(t0)
 
 	// Embarrassingly parallel per-rank alignment of what remains.
-	t0 = time.Now()
+	t0 = walltime.Now()
 	for _, task := range remote {
 		al.alignTask(task)
 	}
-	st.LocalWall += time.Since(t0)
+	st.LocalWall += walltime.Since(t0)
 	return al.out, st
 }
 
@@ -349,7 +349,7 @@ func (al *aligner) streamReplies(reqs [][]uint32, replies []spmd.PackedBufs,
 		}
 	}
 	deliver := func(d spmd.StreamDelivery) {
-		t0 := time.Now()
+		t0 := walltime.Now()
 		var installed int64
 		for i, item := range d.Items {
 			id := reqs[d.Src][d.First+i]
@@ -366,7 +366,7 @@ func (al *aligner) streamReplies(reqs [][]uint32, replies []spmd.PackedBufs,
 			delete(waiting, id)
 		}
 		st.LocalVirtual += price(al.c, al.model, float64(installed), machine.RatePack, 0)
-		st.LocalWall += time.Since(t0)
+		st.LocalWall += walltime.Since(t0)
 	}
 	spmd.IAlltoallvStreamed(al.c, replies,
 		spmd.StreamOpts{ChunkBytes: cfg.ReplyChunk, Depth: cfg.ReplyDepth}, deliver)

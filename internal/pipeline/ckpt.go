@@ -24,7 +24,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"dibella/internal/align"
 	"dibella/internal/ckpt"
@@ -35,6 +34,7 @@ import (
 	"dibella/internal/overlap"
 	"dibella/internal/spmd"
 	"dibella/internal/stats"
+	"dibella/internal/walltime"
 )
 
 // Section names inside a stage's segment files.
@@ -168,7 +168,7 @@ func (ck *ckptState) snapshot(c *spmd.Comm, stage string, sections []ckpt.Sectio
 	if ck == nil || !ck.want[stage] || ckpt.StageOrder(stage) <= ck.skipThrough {
 		return nil
 	}
-	t0 := time.Now()
+	t0 := walltime.Now()
 	nbytes, err := ck.w.Snapshot(c, stage, sections)
 	if err != nil {
 		return err
@@ -178,7 +178,7 @@ func (ck *ckptState) snapshot(c *spmd.Comm, stage string, sections []ckpt.Sectio
 		c.Tick(d)
 		brk.PackVirtual += d
 	}
-	brk.PackWall += time.Since(t0)
+	brk.PackWall += walltime.Since(t0)
 	if ck.abortAfter == stage {
 		return fmt.Errorf("%w: stage %q snapshot committed to %s", ErrCkptAbort, stage, ck.w.Dir)
 	}
@@ -403,7 +403,7 @@ func ExecuteCkpt(p int, model *machine.Model, reads []*fastq.Record, cfg Config,
 	if model != nil {
 		comm = model
 	}
-	wall := time.Now()
+	wall := walltime.Now()
 	err := spmd.RunWithModel(p, comm, func(c *spmd.Comm) error {
 		r, err := ExecuteCommCkpt(c, model, store, cfg, opts)
 		if err != nil {
@@ -419,7 +419,7 @@ func ExecuteCkpt(p int, model *machine.Model, reads []*fastq.Record, cfg Config,
 	if err != nil {
 		return nil, err
 	}
-	rep.WallTime = time.Since(wall)
+	rep.WallTime = walltime.Since(wall)
 	return rep, nil
 }
 
@@ -437,7 +437,7 @@ func ExecuteResume(p int, model *machine.Model, dir string, mutate func(*Config)
 	if model != nil {
 		comm = model
 	}
-	wall := time.Now()
+	wall := walltime.Now()
 	err := spmd.RunWithModel(p, comm, func(c *spmd.Comm) error {
 		r, s, err := ResumeComm(c, model, dir, mutate, opts)
 		if err != nil {
@@ -453,6 +453,6 @@ func ExecuteResume(p int, model *machine.Model, dir string, mutate func(*Config)
 	if err != nil {
 		return nil, nil, err
 	}
-	rep.WallTime = time.Since(wall)
+	rep.WallTime = walltime.Since(wall)
 	return rep, store, nil
 }

@@ -18,6 +18,8 @@ import (
 	"sync"
 	"time"
 
+	"dibella/internal/walltime"
+
 	"dibella/internal/align"
 	"dibella/internal/bella"
 	"dibella/internal/ckpt"
@@ -507,7 +509,7 @@ func executeGather(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, c
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	wall := time.Now()
+	wall := walltime.Now()
 	rr, recs, err := run(c, model, store, cfg, ck, res)
 	if err != nil {
 		return nil, err
@@ -544,7 +546,7 @@ func executeGather(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, c
 			rep.VirtualTime = prr.VirtualTotal
 		}
 	}
-	rep.WallTime = time.Since(wall)
+	rep.WallTime = walltime.Since(wall)
 	return rep, nil
 }
 
@@ -591,7 +593,7 @@ func Execute(p int, model *machine.Model, reads []*fastq.Record, cfg Config) (*R
 	if model != nil {
 		comm = model
 	}
-	wall := time.Now()
+	wall := walltime.Now()
 	err := spmd.RunWithModel(p, comm, func(c *spmd.Comm) error {
 		r, err := ExecuteComm(c, model, store, cfg)
 		if err != nil {
@@ -607,7 +609,7 @@ func Execute(p int, model *machine.Model, reads []*fastq.Record, cfg Config) (*R
 	if err != nil {
 		return nil, err
 	}
-	rep.WallTime = time.Since(wall)
+	rep.WallTime = walltime.Since(wall)
 	return rep, nil
 }
 

@@ -1,0 +1,26 @@
+// Package walltime is the one sanctioned wall-clock read for the
+// output-affecting packages (dht, overlap, olgraph, paf, pipeline, ckpt).
+//
+// The house invariant is byte-identical PAF across transports,
+// schedules, world sizes, and resume paths; a raw time.Now in those
+// packages is one refactor away from leaking a timestamp into output or
+// a checkpoint digest, so dibella-lint's detmap analyzer bans it there.
+// Wall-clock performance accounting is still wanted — it fills the
+// *Wall fields of the stage reports — and this package provides exactly
+// that and nothing more: Point is opaque, so an absolute timestamp
+// cannot be compared, formatted, or serialized; only durations escape.
+package walltime
+
+import "time"
+
+// Point is an opaque instant captured by Now. Its only use is as the
+// argument to Since.
+type Point struct {
+	t time.Time
+}
+
+// Now captures the current instant.
+func Now() Point { return Point{t: time.Now()} }
+
+// Since returns the wall time elapsed since p was captured.
+func Since(p Point) time.Duration { return time.Since(p.t) }

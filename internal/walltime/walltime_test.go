@@ -1,0 +1,26 @@
+package walltime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSinceIsMonotonicNonNegative(t *testing.T) {
+	p := Now()
+	if d := Since(p); d < 0 {
+		t.Fatalf("Since returned negative duration %v", d)
+	}
+	time.Sleep(time.Millisecond)
+	if d := Since(p); d < time.Millisecond {
+		t.Fatalf("Since(p) = %v after sleeping 1ms", d)
+	}
+}
+
+func TestPointsAreIndependent(t *testing.T) {
+	a := Now()
+	time.Sleep(time.Millisecond)
+	b := Now()
+	if Since(a) <= Since(b) {
+		t.Fatalf("earlier point should report the longer elapsed time")
+	}
+}
