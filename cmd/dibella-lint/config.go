@@ -73,6 +73,7 @@ func DefaultConfig() *Config {
 		PricingMethods: set(
 			"AlltoallvTime", "CollectiveTime", "IPostTime",
 			"StreamChunkTime", "ChunkPostTime", "SnapshotTime",
+			"QueryAdmitTime", "QueryRouteTime",
 		),
 		PricedCommitMethods: set("Writer.Snapshot"),
 		// Close is the graceful teardown after the last collective and

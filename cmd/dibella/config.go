@@ -8,6 +8,7 @@ import (
 
 	"dibella/internal/ckpt"
 	"dibella/internal/pipeline"
+	"dibella/internal/serve"
 )
 
 // runParams is the resolved run configuration: everything a rank needs
@@ -27,7 +28,46 @@ type runParams struct {
 	CkptEvery      string          `json:"ckpt_every,omitempty"`
 	CkptAbortAfter string          `json:"ckpt_abort_after,omitempty"`
 	Resume         string          `json:"resume,omitempty"`
+	Serve          serveParams     `json:"serve"`
 	Cfg            pipeline.Config `json:"pipeline"`
+}
+
+// serveParams is serve mode's slice of the run configuration. Only rank 0
+// opens the frontend, but the whole struct ships with the rest of the
+// config so every rank agrees the run is a serve run (and a joiner's
+// conflicting serve flags fail formation like any other config flag).
+type serveParams struct {
+	Enabled       bool   `json:"enabled,omitempty"`
+	Addr          string `json:"addr,omitempty"`
+	MaxInflight   int    `json:"max_inflight,omitempty"`
+	MaxBatchReads int    `json:"max_batch_reads,omitempty"`
+	Tenants       string `json:"tenants,omitempty"`
+	Scorers       string `json:"scorers,omitempty"`
+	MaxBatches    int    `json:"max_batches,omitempty"`
+}
+
+// serveOptions translates the serve params into daemon options,
+// validating the routing profile and tenant list (flag typos should fail
+// at startup, before any forking or world formation).
+func (p *runParams) serveOptions() (serve.Options, error) {
+	scorers, err := serve.ParseScorerConfigs(p.Serve.Scorers)
+	if err != nil {
+		return serve.Options{}, fmt.Errorf("-route-scorers: %w", err)
+	}
+	var tenants []string
+	for _, t := range strings.Split(p.Serve.Tenants, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tenants = append(tenants, t)
+		}
+	}
+	return serve.Options{
+		Addr:          p.Serve.Addr,
+		MaxInflight:   p.Serve.MaxInflight,
+		MaxBatchReads: p.Serve.MaxBatchReads,
+		Tenants:       tenants,
+		Scorers:       scorers,
+		MaxBatches:    p.Serve.MaxBatches,
+	}, nil
 }
 
 // encode serializes the params for the formation handshake / env blob.
@@ -77,7 +117,15 @@ var configFlagFields = map[string]func(*runParams) any{
 	"async-exchange":           func(p *runParams) any { return p.Cfg.Exchange },
 	"reply-chunk":              func(p *runParams) any { return p.Cfg.ReplyChunk },
 	"reply-depth":              func(p *runParams) any { return p.Cfg.ReplyDepth },
+	"build-depth":              func(p *runParams) any { return p.Cfg.BuildDepth },
 	"keep-all-seed-alignments": func(p *runParams) any { return p.Cfg.KeepAllSeedAlignments },
+
+	"serve-addr":            func(p *runParams) any { return p.Serve.Addr },
+	"serve-max-inflight":    func(p *runParams) any { return p.Serve.MaxInflight },
+	"serve-max-batch-reads": func(p *runParams) any { return p.Serve.MaxBatchReads },
+	"serve-tenants":         func(p *runParams) any { return p.Serve.Tenants },
+	"route-scorers":         func(p *runParams) any { return p.Serve.Scorers },
+	"serve-batches":         func(p *runParams) any { return p.Serve.MaxBatches },
 }
 
 // configFlagConflicts compares the flags this process's user explicitly
@@ -167,6 +215,7 @@ func (p *runParams) scheduleMutator() func(*pipeline.Config) {
 		c.Exchange = cfg.Exchange
 		c.ReplyChunk = cfg.ReplyChunk
 		c.ReplyDepth = cfg.ReplyDepth
+		c.BuildDepth = cfg.BuildDepth
 		c.KeepAlignments = true // rank 0 writes PAF
 	}
 }

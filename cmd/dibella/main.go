@@ -11,6 +11,13 @@
 //	dibella -join n1:33441                              # enter a -hosts world
 //	dibella -in reads.fastq -ckpt-dir ck -p 8           # snapshot stage boundaries
 //	dibella -resume ck -p 4                             # restart (any world size)
+//	dibella -in reads.fastq -serve-addr 127.0.0.1:7913  # resident query daemon
+//
+// With -serve-addr the process becomes a resident alignment daemon: the
+// world stays formed after the load and build stages, and rank 0 answers
+// FASTQ query batches (sent by dibella-query) against the resident index,
+// with admission control and weighted query routing — see the README's
+// "Serve mode" section and docs/SERVE.md.
 //
 // With -transport tcp the process acts as a launcher: it binds a loopback
 // rendezvous port, forks P-1 copies of itself as worker processes (ranks
@@ -60,6 +67,7 @@ import (
 	"dibella/internal/overlap"
 	"dibella/internal/paf"
 	"dibella/internal/pipeline"
+	"dibella/internal/serve"
 	"dibella/internal/spmd"
 	"dibella/internal/stats"
 )
@@ -90,6 +98,14 @@ func main() {
 
 		replyChunk = flag.Int("reply-chunk", spmd.DefaultChunkBytes, "stream the alignment stage's read-reply exchange in per-peer chunks of this many bytes, aligning tasks as their sequences land (0: whole-payload reply; same output; requires -async-exchange)")
 		replyDepth = flag.Int("reply-depth", spmd.DefaultStreamDepth, fmt.Sprintf("streamed reply chunk exchanges kept in flight, 1..%d (with -reply-chunk)", spmd.MaxStreamDepth))
+		buildDepth = flag.Int("build-depth", 0, fmt.Sprintf("DHT-build exchange rounds kept in flight per pass, 1..%d (0: default 2; schedule-only, the built table is identical at every depth)", spmd.MaxStreamDepth))
+
+		serveAddr     = flag.String("serve-addr", "", "serve mode: keep the formed world resident and answer FASTQ query batches on this frontend address (see the README's \"Serve mode\")")
+		serveInflight = flag.Int("serve-max-inflight", 4, "serve mode: bound on admitted-but-unfinished batches; the excess is rejected queue-full")
+		serveMaxReads = flag.Int("serve-max-batch-reads", 1024, "serve mode: per-batch read limit; larger batches are rejected too-large")
+		serveTenants  = flag.String("serve-tenants", "", "serve mode: comma-separated tenant allow list (empty admits any tenant)")
+		routeScorers  = flag.String("route-scorers", "", "serve mode: weighted routing profile as name:weight,... over queue-depth, mem-utilization, load-balance (default queue-depth:2,mem-utilization:2,load-balance:1)")
+		serveBatches  = flag.Int("serve-batches", 0, "serve mode: exit after serving this many batches (0: serve until a client requests shutdown)")
 
 		ckptDir   = flag.String("ckpt-dir", "", "snapshot pipeline state at stage boundaries into this directory (per-rank segments + rank-0 manifest)")
 		ckptEvery = flag.String("ckpt-every", "", "comma-separated stage boundaries to snapshot: load, dht, overlap (default: all; with -ckpt-dir)")
@@ -158,6 +174,14 @@ func main() {
 		usageError("-reply-chunk must be non-negative (0 disables streaming), got %d", *replyChunk)
 	case *replyDepth < 1 || *replyDepth > spmd.MaxStreamDepth:
 		usageError("-reply-depth must be in [1,%d], got %d", spmd.MaxStreamDepth, *replyDepth)
+	case *buildDepth < 0 || *buildDepth > spmd.MaxStreamDepth:
+		usageError("-build-depth must be in [1,%d] (or 0 for the default), got %d", spmd.MaxStreamDepth, *buildDepth)
+	case *serveInflight < 1:
+		usageError("-serve-max-inflight must be at least 1, got %d", *serveInflight)
+	case *serveMaxReads < 1:
+		usageError("-serve-max-batch-reads must be at least 1, got %d", *serveMaxReads)
+	case *serveBatches < 0:
+		usageError("-serve-batches must be non-negative (0 serves until shutdown), got %d", *serveBatches)
 	case *window < 1:
 		usageError("-window must be at least 1 (1 degenerates to exact seeding), got %d", *window)
 	case *formTimeout <= 0:
@@ -176,6 +200,24 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if explicit["window"] && *seed != "minimizer" {
 		usageError("-window only applies with -seed minimizer")
+	}
+	if *serveAddr == "" {
+		for _, name := range []string{"serve-max-inflight", "serve-max-batch-reads", "serve-tenants", "route-scorers", "serve-batches"} {
+			if explicit[name] {
+				usageError("-%s only applies in serve mode (set -serve-addr)", name)
+			}
+		}
+	} else {
+		// Serve mode keeps the formed world resident; the batch-only
+		// features below are structurally incompatible with that.
+		switch {
+		case *resume != "":
+			usageError("-serve-addr cannot restart from a snapshot: a serve index keeps singleton k-mers, which batch-mode snapshots prune")
+		case *ckptDir != "":
+			usageError("-serve-addr does not snapshot; drop -ckpt-dir")
+		case *seed == "minimizer":
+			usageError("-serve-addr requires exact seeding: queries cannot be answered against a minimizer-sparsified index")
+		}
 	}
 	if *resume != "" {
 		if err := resumeFlagError(explicit); err != nil {
@@ -226,6 +268,11 @@ func main() {
 		ErrorRate: *errRate, Coverage: *coverage, GenomeEst: *genome,
 		UseHLL: *useHLL, KeepAlignments: true,
 		KeepAllSeedAlignments: *allSeeds,
+		BuildDepth:            *buildDepth,
+		// The resident index must keep singletons (and high-frequency
+		// tombstones): a query occurrence can lift an indexed singleton to
+		// a reportable pair.
+		KeepSingletons: *serveAddr != "",
 	}
 	// Schedule selection: bulk-synchronous when -async-exchange=false,
 	// streamed reply (the default) when -reply-chunk > 0, plain async
@@ -264,9 +311,19 @@ func main() {
 		In: *in, Platform: *platform, Nodes: *nodes,
 		CkptDir: *ckptDir, CkptEvery: *ckptEvery, CkptAbortAfter: *ckptAbort,
 		Resume: *resume, Cfg: cfg,
+		Serve: serveParams{
+			Enabled: *serveAddr != "", Addr: *serveAddr,
+			MaxInflight: *serveInflight, MaxBatchReads: *serveMaxReads,
+			Tenants: *serveTenants, Scorers: *routeScorers,
+			MaxBatches: *serveBatches,
+		},
 	}
 	// Checkpoint flag validation (stage-name typos) should beat forking.
 	if _, err := params.ckptOptions(); err != nil {
+		usageError("%v", err)
+	}
+	// Likewise the routing profile: a scorer typo fails at startup.
+	if _, err := params.serveOptions(); err != nil {
 		usageError("%v", err)
 	}
 	// An env-contract worker whose parent shipped the launcher's config (a
@@ -289,6 +346,10 @@ func main() {
 	}
 
 	if *transport == "mem" {
+		if params.Serve.Enabled {
+			runServeMem(params, *p)
+			return
+		}
 		runMem(params, *p, *out, *showBrk)
 		return
 	}
@@ -316,8 +377,8 @@ func main() {
 	if err != nil {
 		fatalRun(err)
 	}
-	if rank != 0 {
-		return // workers and join agents: rank 0 owns all output
+	if rank != 0 || rep == nil {
+		return // workers, join agents, and serve runs: no batch PAF output
 	}
 	writeOutput(rep, rep.PAFRecordsFromStore(store), *out, *showBrk)
 }
@@ -389,6 +450,60 @@ func runMem(params *runParams, p int, outPath string, showBrk bool) {
 		fatalRun(err)
 	}
 	writeOutput(rep, rep.PAFRecords(reads), outPath, showBrk)
+}
+
+// runServeMem forms the world on p in-process goroutine ranks and runs
+// the resident daemon until it serves its batch budget or a client
+// requests shutdown.
+func runServeMem(params *runParams, p int) {
+	mdl, err := params.model(p, true)
+	if err != nil {
+		fatal(err)
+	}
+	reads, err := fastq.ReadFile(params.In)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s: %s\n", params.In, fastq.Summarize(reads))
+	var comm spmd.CommModel
+	if mdl != nil {
+		comm = mdl
+	}
+	err = spmd.RunWithModel(p, comm, func(c *spmd.Comm) error {
+		store := fastq.NewReadStore(reads, c.Size())
+		return serveWorld(c, mdl, store, params)
+	})
+	if err != nil {
+		fatalRun(err)
+	}
+}
+
+// serveWorld is the collective serve body shared by both transports:
+// form the resident world, run the daemon, and print rank 0's lifetime
+// stats when it exits.
+func serveWorld(c *spmd.Comm, mdl *machine.Model, store *fastq.ReadStore, params *runParams) error {
+	opts, err := params.serveOptions()
+	if err != nil {
+		return err // validated at startup; unreachable for forked ranks too
+	}
+	if c.Rank() == 0 {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	w, err := pipeline.FormWorld(c, mdl, store, params.Cfg)
+	if err != nil {
+		return err
+	}
+	st, err := serve.Serve(w, opts)
+	if err != nil {
+		return err
+	}
+	if c.Rank() == 0 {
+		fmt.Fprintf(os.Stderr, "serve: done: served=%d rejected=%d routed=%v modeled=%.4fs\n",
+			st.Served, st.Rejected, st.RoutedPerRank, st.VirtualSeconds)
+	}
+	return nil
 }
 
 // pickTimeout prefers the env-propagated formation deadline over the
@@ -474,6 +589,9 @@ func runTCP(boot spmd.Bootstrap, params *runParams, explicit map[string]bool) (
 		if c.Rank() == 0 {
 			fmt.Fprintf(os.Stderr, "loaded %s cooperatively: %s (rank 0 parsed %d bytes)\n",
 				params.In, s.Stats(), s.ParsedBytes)
+		}
+		if params.Serve.Enabled {
+			return serveWorld(c, mdl, s, params) // rep stays nil: no batch PAF
 		}
 		var r *pipeline.Report
 		if ckOpts != nil {

@@ -28,6 +28,7 @@ func main() {
 		meanLen  = flag.Int("mean-len", 10000, "mean read length")
 		errRate  = flag.Float64("error-rate", 0.15, "per-base error rate")
 		seed     = flag.Int64("seed", 42, "generation seed")
+		prefix   = flag.String("name-prefix", "", "prepend this to every read name (e.g. \"q_\" for a serve query set)")
 		out      = flag.String("out", "reads.fastq", "output FASTQ path")
 		refOut   = flag.String("ref", "", "also write the reference genome (FASTA)")
 		truthOut = flag.String("truth", "", "also write ground-truth overlap pairs (TSV)")
@@ -51,6 +52,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown preset %q", *preset))
 	}
+	cfg.NamePrefix = *prefix
 
 	ds, err := seqgen.Generate(cfg)
 	if err != nil {

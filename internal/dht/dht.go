@@ -71,6 +71,18 @@ func (p *Partition) ForEach(fn func(km kmer.Kmer, occs []Occ)) {
 	}
 }
 
+// MemBytes estimates the partition's resident footprint: table buckets
+// plus occurrence lists. Serve mode's mem-utilization scorer routes
+// query batches on this quantity.
+func (p *Partition) MemBytes() int64 {
+	// ~48 bytes per entry: bucket slot, 8-byte key, entry header.
+	n := int64(len(p.Table)) * 48
+	for _, e := range p.Table {
+		n += int64(len(e.Occs)) * 8
+	}
+	return n
+}
+
 // LocalReads is one rank's block of the read set: sequences with global
 // IDs IDStart, IDStart+1, ...
 type LocalReads struct {
@@ -115,6 +127,20 @@ type Config struct {
 	// exchange cost is hidden under local work (modeled as max rather than
 	// sum). The inserted data is identical to the blocking schedule.
 	Async bool
+
+	// BuildDepth is how many exchanges the Async round pipeline keeps in
+	// flight per pass (default 2 — the schedule the repo has always run;
+	// capped at spmd.MaxStreamDepth). Depth 1 degenerates to the blocking
+	// schedule. The inserted data is identical at every depth.
+	BuildDepth int
+
+	// KeepSingletons retains k-mers seen only once: the Bloom admission
+	// heuristic is bypassed (every received key gets a table entry) and
+	// the prune drops only the high-frequency tail. Serve mode needs this
+	// — a query read's occurrence can lift an indexed singleton to count 2
+	// in the combined run the house invariant compares against, so the
+	// resident index must keep singletons to reproduce those pairs.
+	KeepSingletons bool
 }
 
 func (cfg *Config) setDefaults() error {
@@ -146,6 +172,12 @@ func (cfg *Config) setDefaults() error {
 	}
 	if cfg.MinimizerWindow < 0 {
 		return fmt.Errorf("dht: minimizer window %d must be non-negative", cfg.MinimizerWindow)
+	}
+	if cfg.BuildDepth == 0 {
+		cfg.BuildDepth = 2
+	}
+	if cfg.BuildDepth < 1 || cfg.BuildDepth > spmd.MaxStreamDepth {
+		return fmt.Errorf("dht: build depth %d out of [1,%d]", cfg.BuildDepth, spmd.MaxStreamDepth)
 	}
 	return nil
 }
@@ -247,7 +279,7 @@ func Build(c *spmd.Comm, model *machine.Model, reads LocalReads, cfg Config) (*P
 	// Pass 2: occurrence accumulation and pruning.
 	stats.Hash = hashPass(c, pr, reads, cfg, rounds, part)
 	t0 := walltime.Now()
-	prunedS, prunedH := prune(part)
+	prunedS, prunedH := prune(part, cfg.KeepSingletons)
 	stats.Hash.LocalVirtual += pr.tick(float64(stats.TableEntries),
 		machine.RateHTPrune, float64(stats.TableEntries)*64)
 	stats.Hash.LocalWall += walltime.Since(t0)
@@ -367,24 +399,38 @@ func runRounds[T any](c *spmd.Comm, st *StageStats, cfg Config, rounds int,
 
 	pre := c.Stats()
 	defer func() { st.addComm(pre, c.Stats()) }()
+	depth := cfg.BuildDepth
+	if depth <= 0 {
+		depth = 2
+	}
 	// A single-round pass has nothing to pipeline — posting cost would be
-	// pure loss — so the non-blocking schedule needs at least two rounds.
-	if !cfg.Async || rounds < 2 {
+	// pure loss — so the non-blocking schedule needs at least two rounds
+	// and a window of at least two exchanges.
+	if !cfg.Async || rounds < 2 || depth < 2 {
 		for round := 0; round < rounds; round++ {
 			send := pack()
 			process(spmd.Alltoallv(c, send))
 		}
 		return
 	}
-	h := spmd.IAlltoallv(c, pack())
+	// Keep up to depth exchanges in flight: prefill depth-1 posts, then
+	// post one more ahead of each wait. At depth 2 this is exactly the
+	// post-one-ahead schedule the pass has always run; deeper windows give
+	// slow rounds more exchange time to hide under.
+	var pending []*spmd.Handle[T]
+	posted := 0
+	for posted < rounds && posted < depth-1 {
+		pending = append(pending, spmd.IAlltoallv(c, pack()))
+		posted++
+	}
 	for round := 0; round < rounds; round++ {
-		var next *spmd.Handle[T]
-		if round+1 < rounds {
-			next = spmd.IAlltoallv(c, pack())
+		if posted < rounds {
+			pending = append(pending, spmd.IAlltoallv(c, pack()))
+			posted++
 		}
-		recv := h.Wait()
+		recv := pending[0].Wait()
+		pending = pending[1:]
 		process(recv)
-		h = next
 	}
 }
 
@@ -428,7 +474,13 @@ func bloomPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int
 		received := int64(0)
 		for _, batch := range recv {
 			for _, km := range batch {
-				if filter.InsertAndTest(km.Hash()) {
+				if cfg.KeepSingletons {
+					// Serve-mode index: every distinct key gets an entry —
+					// a later query occurrence may be its second sighting.
+					if _, ok := part.Table[km]; !ok {
+						part.Table[km] = &Entry{}
+					}
+				} else if filter.InsertAndTest(km.Hash()) {
 					if _, ok := part.Table[km]; !ok {
 						part.Table[km] = &Entry{}
 					}
@@ -508,16 +560,26 @@ func hashPass(c *spmd.Comm, pr pricer, reads LocalReads, cfg Config, rounds int,
 }
 
 // prune removes false-positive singletons and high-frequency k-mers,
-// returning how many of each were dropped.
-func prune(part *Partition) (singletons, highFreq int) {
+// returning how many of each were dropped. A serve-mode index
+// (keepSingletons) keeps its singletons, and keeps the high-frequency
+// tail as tombstones — count retained, occurrence list dropped — so a
+// query can tell "frequent in the index" (the combined count exceeds m
+// too; no pairs) apart from "absent" (the combined count is the query
+// occurrences alone).
+func prune(part *Partition, keepSingletons bool) (singletons, highFreq int) {
+	//lint:ignore detmap each iteration only counts, self-deletes, or nils its own entry's Occs — no iteration order escapes
 	for km, e := range part.Table {
 		switch {
-		case e.Count < 2:
+		case e.Count < 2 && !keepSingletons:
 			delete(part.Table, km)
 			singletons++
 		case int(e.Count) > part.MaxFreq:
-			delete(part.Table, km)
 			highFreq++
+			if keepSingletons {
+				e.Occs = nil
+				continue
+			}
+			delete(part.Table, km)
 		}
 	}
 	return

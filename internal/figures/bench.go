@@ -9,12 +9,16 @@ package figures
 
 import (
 	"fmt"
+	"math"
 	"os"
+	"sort"
 
 	"dibella/internal/evalx"
+	"dibella/internal/fastq"
 	"dibella/internal/kmer"
 	"dibella/internal/machine"
 	"dibella/internal/pipeline"
+	"dibella/internal/serve"
 	"dibella/internal/spmd"
 )
 
@@ -35,6 +39,20 @@ const (
 	// benchMinOverlap is the ground-truth overlap threshold of the recall
 	// study (the paper's reportable-overlap floor).
 	benchMinOverlap = 2000
+	// Serve-schedule shape: the workload's read tail becomes
+	// benchServeBatches query batches of benchServeBatchReads reads;
+	// arrivals are spaced so the daemon runs at benchServeUtilization of
+	// its measured service rate, which keeps a queue forming without
+	// running away.
+	benchServeBatches     = 12
+	benchServeBatchReads  = 6
+	benchServeUtilization = 0.75
+	// benchServeBurst groups arrivals: each burst's batches land at the
+	// same instant, bursts spaced to hold the mean rate at the target
+	// utilization. Evenly-spaced deterministic arrivals below saturation
+	// never queue (D/D/1), so an unbursty trace would pin both wait
+	// percentiles at zero and the snapshot would track nothing.
+	benchServeBurst = 4
 )
 
 // BenchRun is one schedule's numbers on the bench workload.
@@ -74,6 +92,28 @@ type DepthPoint struct {
 	AlignOverlapFraction float64 `json:"align_overlap_fraction"`
 }
 
+// ServeBench is the serve schedule's snapshot: the bench workload's read
+// tail served as query batches against the resident index under a
+// synthetic deterministic arrival trace, all on the modeled clock — so
+// throughput (modeled QPS) and queue-wait percentiles are comparable
+// across PRs exactly like the batch schedules' virtual seconds.
+type ServeBench struct {
+	Batches    int `json:"batches"`
+	BatchReads int `json:"batch_reads"`
+	// ArrivalSpacing is the synthetic trace's inter-arrival gap: the
+	// first batch's service time divided by benchServeUtilization.
+	ArrivalSpacing float64 `json:"arrival_spacing_virtual_seconds"`
+	// VirtualSeconds is the modeled completion time of the last batch
+	// (admission, routing, and every query collective priced).
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	ModeledQPS     float64 `json:"modeled_qps"`
+	MeanService    float64 `json:"mean_service_virtual_seconds"`
+	P50QueueWait   float64 `json:"p50_queue_wait_virtual_seconds"`
+	P99QueueWait   float64 `json:"p99_queue_wait_virtual_seconds"`
+	Alignments     int64   `json:"alignments"`
+	RoutedPerRank  []int64 `json:"routed_per_rank"`
+}
+
 // BenchResult is the full snapshot: the same workload under the
 // bulk-synchronous, the non-blocking round-pipelined, and the streamed
 // chunked-reply schedules, modeled as a Cori job, plus a pipelining-depth
@@ -109,6 +149,8 @@ type BenchResult struct {
 	MinimizerByteRatio float64       `json:"minimizer_build_byte_ratio"`
 	SpeedupMinimizer   float64       `json:"modeled_speedup_minimizer_over_streamed"`
 	MinimizerRecall    []RecallPoint `json:"minimizer_recall"`
+	// Serve is the resident-daemon schedule (see ServeBench).
+	Serve *ServeBench `json:"serve"`
 }
 
 // ExchangeBench runs the schedule comparison on the E. coli 30x one-seed
@@ -233,7 +275,158 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 			AlignOverlapFraction: dr.AlignOverlapFraction,
 		})
 	}
+	if res.Serve, err = serveBench(o, nodes, p); err != nil {
+		return nil, fmt.Errorf("figures: serve bench: %w", err)
+	}
 	return res, nil
+}
+
+// serveBench runs the serve schedule: form the resident world over the
+// workload minus its query tail, then answer the tail as query batches
+// under a deterministic synthetic arrival trace. Arrival i lands at
+// i*spacing on the modeled clock; service is serial in admission order
+// (the daemon's SPMD loop), so batch i starts at max(arrival_i,
+// finish_{i-1}) and its queue wait is the difference. Routing uses the
+// default weighted scorers against the simulated queue state, exactly as
+// the daemon's admission path would.
+func serveBench(o *Options, nodes, p int) (*ServeBench, error) {
+	reads, err := o.Reads30x()
+	if err != nil {
+		return nil, err
+	}
+	nq := benchServeBatches * benchServeBatchReads
+	if len(reads) < nq+32 {
+		return nil, fmt.Errorf("figures: serve bench needs >= %d reads, workload has %d (raise -scale)", nq+32, len(reads))
+	}
+	mdl, err := machine.NewModelScaled(machine.Cori, nodes, p)
+	if err != nil {
+		return nil, err
+	}
+	indexed := reads[:len(reads)-nq]
+	batches := make([][]pipeline.QueryRead, benchServeBatches)
+	for i, r := range reads[len(reads)-nq:] {
+		b := i / benchServeBatchReads
+		batches[b] = append(batches[b], pipeline.QueryRead{Name: r.Name, Seq: r.Seq})
+	}
+	scorers := serve.DefaultScorerConfigs()
+	var sb *ServeBench
+	err = spmd.RunWithModel(p, mdl, func(c *spmd.Comm) error {
+		cfg := oneSeedConfig()
+		cfg.KeepAlignments = true
+		cfg.KeepSingletons = true // the resident index keeps singletons
+		cfg.MaxKmersPerRound = 1 << 16
+		store := fastq.NewReadStore(indexed, c.Size())
+		w, err := pipeline.FormWorld(c, mdl, store, cfg)
+		if err != nil {
+			return err
+		}
+		mem := w.GatherMemBytes()
+		var (
+			service, waits, finish []float64
+			homes                  []int
+			routed                 = make([]int64, c.Size())
+			aligns                 int64
+			spacing                float64
+		)
+		// Bursty arrival trace: burst k's batches all land at
+		// k*burst*spacing, so intra-burst batches queue behind each other
+		// while the mean rate stays at the target utilization.
+		arrival := func(i int) float64 {
+			return float64(i/benchServeBurst) * benchServeBurst * spacing
+		}
+		for i, batch := range batches {
+			home := 0
+			if c.Rank() == 0 {
+				// Admission at arrival time: the scorers see the queue the
+				// trace has built up by then.
+				ai := arrival(i)
+				snaps := make([]serve.RankSnapshot, c.Size())
+				for r := range snaps {
+					snaps[r] = serve.RankSnapshot{Rank: r, MemBytes: mem[r], Routed: routed[r]}
+				}
+				for j, fj := range finish {
+					if fj > ai {
+						snaps[homes[j]].QueueDepth++
+					}
+				}
+				home = serve.PickRank(scorers, snaps)
+				var reqBytes int
+				for _, q := range batch {
+					reqBytes += len(q.Seq)
+				}
+				c.Tick(mdl.QueryAdmitTime(float64(reqBytes)))
+				c.Tick(mdl.QueryRouteTime(c.Size(), len(scorers)))
+			}
+			home = spmd.Bcast(c, home, 0)
+			v0 := c.Now()
+			recs, err := w.RunQuery(home, batch)
+			if err != nil {
+				return err
+			}
+			if c.Rank() != 0 {
+				continue
+			}
+			sv := c.Now() - v0
+			if i == 0 {
+				spacing = sv / benchServeUtilization
+			}
+			ai := arrival(i)
+			start := ai
+			if n := len(finish); n > 0 && finish[n-1] > start {
+				start = finish[n-1]
+			}
+			service = append(service, sv)
+			waits = append(waits, start-ai)
+			finish = append(finish, start+sv)
+			homes = append(homes, home)
+			routed[home]++
+			aligns += int64(len(recs))
+		}
+		if c.Rank() != 0 {
+			return nil
+		}
+		var meanSv float64
+		for _, s := range service {
+			meanSv += s
+		}
+		meanSv /= float64(len(service))
+		sorted := append([]float64(nil), waits...)
+		sort.Float64s(sorted)
+		last := finish[len(finish)-1]
+		sb = &ServeBench{
+			Batches: benchServeBatches, BatchReads: benchServeBatchReads,
+			ArrivalSpacing: spacing,
+			VirtualSeconds: last,
+			ModeledQPS:     float64(len(service)) / last,
+			MeanService:    meanSv,
+			P50QueueWait:   percentile(sorted, 0.50),
+			P99QueueWait:   percentile(sorted, 0.99),
+			Alignments:     aligns,
+			RoutedPerRank:  routed,
+		}
+		o.logf("bench serve: %d batches, qps=%.2f p50 wait=%.4fs p99 wait=%.4fs routed=%v",
+			sb.Batches, sb.ModeledQPS, sb.P50QueueWait, sb.P99QueueWait, sb.RoutedPerRank)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sb, nil
+}
+
+// percentile is the nearest-rank percentile of an ascending-sorted slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // minimizerRecallStudy quantifies the sensitivity minimizer seeding trades

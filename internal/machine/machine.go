@@ -349,6 +349,45 @@ func (m *Model) SnapshotTime(bytes float64) float64 {
 	return ckptLatency + (bytes/m.groupSize())/(bw/float64(m.RanksPerNode))
 }
 
+const (
+	// serveAdmitLatency is the fixed software cost of admitting one query
+	// request on the frontend rank: frame decode dispatch, tenant lookup,
+	// admission bookkeeping, and the queue insert (tens of microseconds of
+	// RPC-ingress path, far below a collective but never free).
+	serveAdmitLatency = 20e-6
+	// serveDecodeBW is the rate at which the frontend ingests and decodes
+	// a query batch's payload bytes (gob decode plus copy-in).
+	serveDecodeBW = 200e6
+	// serveScorePerRank is the routing cost per candidate rank per scorer
+	// pass: reading one rank's load snapshot and accumulating its weighted
+	// normalized score.
+	serveScorePerRank = 100e-9
+)
+
+// QueryAdmitTime prices the serve frontend's handling of one query
+// request of reqBytes payload: fixed admission latency plus the batch
+// bytes through the ingress decode bandwidth. Charged on the frontend
+// rank's clock before the batch's collectives begin, so served query
+// traffic is never modeled as free.
+func (m *Model) QueryAdmitTime(reqBytes float64) float64 {
+	if reqBytes < 0 {
+		reqBytes = 0
+	}
+	return serveAdmitLatency + reqBytes/serveDecodeBW
+}
+
+// QueryRouteTime prices weighted scorer routing of one admitted batch:
+// every configured scorer reads a load snapshot of every rank.
+func (m *Model) QueryRouteTime(ranks, scorers int) float64 {
+	if ranks < 0 {
+		ranks = 0
+	}
+	if scorers < 1 {
+		scorers = 1
+	}
+	return float64(ranks*scorers) * serveScorePerRank
+}
+
 // CollectiveTime implements spmd.CommModel: a latency-bound tree
 // collective over nodes, plus an on-node combine.
 func (m *Model) CollectiveTime() float64 {

@@ -136,8 +136,10 @@ type Stats struct {
 // distribution).
 type OwnerFunc func(read uint32) int
 
-// taskMsg is the wire record for one discovered pair: 16 bytes.
-type taskMsg struct {
+// PairMsg is the wire record for one discovered pair: 16 bytes. Exported
+// for the serve-mode query path, which generates the same records against
+// the resident partition and consolidates them with Consolidate.
+type PairMsg struct {
 	RA, RB   uint32
 	PFA, PFB uint32 // packed position+orientation, as in dht.Occ
 }
@@ -153,7 +155,7 @@ func Run(c *spmd.Comm, model *machine.Model, part *dht.Partition, owner OwnerFun
 	// Algorithm 1: enumerate occurrence pairs per retained k-mer and
 	// buffer each task for the owner chosen by the odd/even heuristic.
 	t0 := walltime.Now()
-	send := make([][]taskMsg, c.Size())
+	send := make([][]PairMsg, c.Size())
 	part.ForEach(func(_ kmer.Kmer, occs []dht.Occ) {
 		st.RetainedScanned++
 		for i := 0; i < len(occs); i++ {
@@ -174,7 +176,7 @@ func Run(c *spmd.Comm, model *machine.Model, part *dht.Partition, owner OwnerFun
 					pfa, pfb = pfb, pfa
 				}
 				dst := cfg.taskOwner(ra, rb, owner)
-				send[dst] = append(send[dst], taskMsg{
+				send[dst] = append(send[dst], PairMsg{
 					RA: ra, RB: rb, PFA: pfa, PFB: pfb,
 				})
 				st.PairsGenerated++
@@ -198,10 +200,24 @@ func Run(c *spmd.Comm, model *machine.Model, part *dht.Partition, owner OwnerFun
 	st.ExchangeVirtual += post.ExchangeVirtual - pre.ExchangeVirtual
 	st.ExchangeWall += walltime.Since(t0)
 
-	// Consolidate per-pair seed lists.
+	// Consolidate per-pair seed lists, filter, and emit deterministic
+	// task order.
 	t0 = walltime.Now()
+	tasks, seedsIn := consolidate(recv, cfg, &st)
+	st.LocalVirtual += price(c, model, float64(st.TasksReceived), machine.RatePairGen) +
+		price(c, model, float64(seedsIn), machine.RateSeedPrep)
+	st.LocalWall += walltime.Since(t0)
+	return tasks, st, nil
+}
+
+// consolidate merges received pair messages into per-pair seed lists,
+// applies the exploration filter, and returns the tasks in (A, B) order,
+// accumulating counts into st. The arrival order of the messages cannot
+// matter: FilterSeeds fully sorts each pair's seed list before
+// filtering, and the task list is sorted before return.
+func consolidate(batches [][]PairMsg, cfg Config, st *Stats) (tasks []Task, seedsIn int64) {
 	byPair := make(map[Pair][]Seed)
-	for _, batch := range recv {
+	for _, batch := range batches {
 		for _, msg := range batch {
 			st.TasksReceived++
 			pair, seed := normalize(msg)
@@ -209,11 +225,7 @@ func Run(c *spmd.Comm, model *machine.Model, part *dht.Partition, owner OwnerFun
 		}
 	}
 	st.Pairs = int64(len(byPair))
-	st.LocalVirtual += price(c, model, float64(st.TasksReceived), machine.RatePairGen)
-
-	// Filter seeds and emit deterministic task order.
-	tasks := make([]Task, 0, len(byPair))
-	var seedsIn int64
+	tasks = make([]Task, 0, len(byPair))
 	for pair, seeds := range byPair {
 		seedsIn += int64(len(seeds))
 		kept := FilterSeeds(seeds, cfg)
@@ -227,8 +239,21 @@ func Run(c *spmd.Comm, model *machine.Model, part *dht.Partition, owner OwnerFun
 		}
 		return tasks[i].Pair.B < tasks[j].Pair.B
 	})
-	st.LocalVirtual += price(c, model, float64(seedsIn), machine.RateSeedPrep)
-	st.LocalWall += walltime.Since(t0)
+	return tasks, seedsIn
+}
+
+// Consolidate is the exported consolidation entry point for the
+// serve-mode query path: the home rank of a query batch feeds the pair
+// messages it received from every partition owner through the same
+// merge/filter/sort pipeline the batch overlap stage uses, so a served
+// task list is bit-for-bit the batch task list restricted to
+// query-involving pairs. Returns the tasks and the per-batch counts.
+func Consolidate(batches [][]PairMsg, cfg Config) ([]Task, Stats, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, Stats{}, err
+	}
+	var st Stats
+	tasks, _ := consolidate(batches, cfg, &st)
 	return tasks, st, nil
 }
 
@@ -279,7 +304,7 @@ func oddEvenOwner(ra, rb uint32, owner OwnerFunc) int {
 
 // normalize orders the pair as (A < B) and swaps the seed's sides to
 // match.
-func normalize(msg taskMsg) (Pair, Seed) {
+func normalize(msg PairMsg) (Pair, Seed) {
 	oa := dht.Occ{Read: msg.RA, PosFlag: msg.PFA}
 	ob := dht.Occ{Read: msg.RB, PosFlag: msg.PFB}
 	if msg.RA > msg.RB {

@@ -110,7 +110,7 @@ func TestTaskOwnerBalance(t *testing.T) {
 }
 
 func TestNormalize(t *testing.T) {
-	msg := taskMsg{RA: 9, RB: 3,
+	msg := PairMsg{RA: 9, RB: 3,
 		PFA: dht.MakeOcc(9, 100, true).PosFlag,
 		PFB: dht.MakeOcc(3, 50, false).PosFlag}
 	pair, seed := normalize(msg)

@@ -6,7 +6,6 @@ import (
 
 	"dibella/internal/align"
 	"dibella/internal/dna"
-	"dibella/internal/fastq"
 	"dibella/internal/machine"
 	"dibella/internal/overlap"
 	"dibella/internal/spmd"
@@ -48,13 +47,25 @@ func addComm(b *stats.Breakdown, pre, post spmd.Stats) {
 	b.OverlapWall += post.OverlapWall - pre.OverlapWall
 }
 
+// readView abstracts the read access the alignment stage needs: the
+// batch pipeline passes the rank's *fastq.LocalView; the serve-mode
+// query path passes a view that additionally owns the broadcast query
+// sequences on every rank.
+type readView interface {
+	Owns(id uint32) bool
+	Seq(id uint32) []byte
+	OwnedSeq(id uint32) []byte
+	AddReplica(id uint32, seq []byte)
+	OwnerOf(id uint32) int
+}
+
 // aligner is the per-rank alignment state shared by the synchronous and
 // overlapped schedules: the read view, a reverse-complement cache (one RC
 // per read, however many tasks touch it), and the accumulating output.
 type aligner struct {
 	c      *spmd.Comm
 	model  *machine.Model
-	view   *fastq.LocalView
+	view   readView
 	cfg    Config
 	st     *AlignStats
 	rc     map[uint32][]byte // reverse complements by read ID
@@ -192,7 +203,7 @@ func (al *aligner) alignSeeds(task overlap.Task, seqA, seqB []byte) {
 // still in flight instead of starting after the full install. The emitted
 // alignments are identical under every schedule (records are sorted into
 // a total order before output).
-func alignStage(c *spmd.Comm, model *machine.Model, view *fastq.LocalView,
+func alignStage(c *spmd.Comm, model *machine.Model, view readView,
 	tasks []overlap.Task, cfg Config) ([]Alignment, AlignStats) {
 
 	st := AlignStats{Tasks: int64(len(tasks))}

@@ -82,6 +82,11 @@ type outputConfig struct {
 	MinAlignScore         int
 	MinimizerWindow       int
 	KeepAllSeedAlignments bool
+	// KeepSingletons changes what the DHT snapshot contains (singletons
+	// and tombstones stay resident), so a serve-formed checkpoint can
+	// never resume into a batch run or vice versa. BuildDepth, by
+	// contrast, is schedule-only and deliberately absent.
+	KeepSingletons bool
 }
 
 // outputHash digests the output-affecting configuration; cfg must be
@@ -93,6 +98,7 @@ func (cfg *Config) outputHash() string {
 		OwnerPolicy: cfg.OwnerPolicy, XDrop: cfg.XDrop, Scoring: cfg.Scoring,
 		MinAlignScore: cfg.MinAlignScore, MinimizerWindow: cfg.MinimizerWindow,
 		KeepAllSeedAlignments: cfg.KeepAllSeedAlignments,
+		KeepSingletons:        cfg.KeepSingletons,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("pipeline: canonicalizing config: %v", err)) // plain-data struct; cannot fail

@@ -22,7 +22,6 @@ import (
 
 	"dibella/internal/align"
 	"dibella/internal/bella"
-	"dibella/internal/ckpt"
 	"dibella/internal/dht"
 	"dibella/internal/fastq"
 	"dibella/internal/machine"
@@ -118,6 +117,20 @@ type Config struct {
 	// spmd.MaxStreamDepth).
 	ReplyDepth int
 
+	// BuildDepth is how many exchange rounds the hash-table build's
+	// non-blocking round pipeline keeps in flight per pass (default 2 —
+	// the post-one-ahead schedule; capped at spmd.MaxStreamDepth; 1
+	// degenerates to the blocking schedule). Schedule-only: the built
+	// table is identical at every depth.
+	BuildDepth int
+
+	// KeepSingletons retains singleton k-mers (and high-frequency
+	// tombstone counts) in the DHT. Serve mode sets it when forming the
+	// resident world: a query occurrence can lift an indexed singleton to
+	// count 2 in the combined run served output is compared against, so
+	// the index must keep them to reproduce those pairs.
+	KeepSingletons bool
+
 	// KeepAllSeedAlignments emits one alignment record per explored seed
 	// instead of the default BELLA semantics of keeping only the
 	// best-scoring alignment per (pair, strand). Multi-seed pairs under
@@ -164,6 +177,9 @@ func (cfg *Config) setDefaults() error {
 	}
 	if cfg.MinimizerWindow < 0 {
 		return fmt.Errorf("pipeline: negative minimizer window %d", cfg.MinimizerWindow)
+	}
+	if cfg.BuildDepth < 0 || cfg.BuildDepth > spmd.MaxStreamDepth {
+		return fmt.Errorf("pipeline: build depth %d out of [0,%d]", cfg.BuildDepth, spmd.MaxStreamDepth)
 	}
 	return nil
 }
@@ -404,83 +420,22 @@ func (cfg *Config) overlapConfig(store *fastq.ReadStore) overlap.Config {
 // run is the stage driver behind Run: optionally emitting stage-boundary
 // snapshots (ck) and optionally starting from a restored stage boundary
 // (res) instead of the beginning. All ranks call it collectively with
-// the same ck/res shape.
+// the same ck/res shape. It composes the same stage objects serve mode
+// holds resident (World), dropping the partition after the overlap
+// stage as the batch pipeline always has.
 func run(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg Config,
 	ck *ckptState, res *resumeState) (RankReport, []Alignment, error) {
 
-	if err := cfg.setDefaults(); err != nil {
+	w, err := formWorld(c, model, store, cfg, ck, res)
+	if err != nil {
 		return RankReport{}, nil, err
 	}
-	view := store.View(c.Rank())
-	start, end := view.LocalIDRange()
-
-	rr := RankReport{Rank: c.Rank(), ReadsLocal: int(end - start), InputBytes: store.ParsedBytes}
-
-	// Load boundary: the sharded read store is durable; a restart can
-	// skip parsing and reshuffling the input. Its I/O cost is charged to
-	// the Bloom stage's packing account (the stage the snapshot delays).
-	if err := ck.snapshot(c, ckpt.StageLoad, storeSections(store, c.Rank()), &rr.Bloom.Breakdown); err != nil {
+	tasks, err := w.overlapStage(ck, res, false)
+	if err != nil {
 		return RankReport{}, nil, err
 	}
-
-	var part *dht.Partition
-	if res.resumedPast(ckpt.StageLoad) {
-		part = res.part
-	} else {
-		local := dht.LocalReads{IDStart: start}
-		for id := start; id < end; id++ {
-			local.Seqs = append(local.Seqs, store.Seq(id))
-		}
-		var buildStats dht.BuildStats
-		var err error
-		part, buildStats, err = dht.Build(c, model, local, dht.Config{
-			K: cfg.K, MaxFreq: cfg.MaxFreq,
-			MaxKmersPerRound: cfg.MaxKmersPerRound,
-			BloomFP:          cfg.BloomFP,
-			ErrorRate:        cfg.ErrorRate,
-			UseHLL:           cfg.UseHLL,
-			MinimizerWindow:  cfg.MinimizerWindow,
-			Async:            cfg.Exchange != ExchangeSync,
-		})
-		if err != nil {
-			return RankReport{}, nil, err
-		}
-		rr.Bloom, rr.Hash, rr.Retained = buildStats.Bloom, buildStats.Hash, buildStats.Retained
-
-		// DHT boundary: partitions plus the read store, so the snapshot
-		// is self-contained.
-		sections := append(storeSections(store, c.Rank()), ckpt.Section{Name: sectionDHT, Data: part.Encode()})
-		if err := ck.snapshot(c, ckpt.StageDHT, sections, &rr.Hash.Breakdown); err != nil {
-			return RankReport{}, nil, err
-		}
-	}
-
-	var tasks []overlap.Task
-	if res.resumedPast(ckpt.StageDHT) {
-		tasks = res.tasks
-	} else {
-		var ovStats overlap.Stats
-		var err error
-		tasks, ovStats, err = overlap.Run(c, model, part, store.Owner, cfg.overlapConfig(store))
-		if err != nil {
-			return RankReport{}, nil, err
-		}
-		rr.Overlap = ovStats
-		// The hash table is no longer needed once tasks exist.
-		part = nil
-		_ = part
-
-		// Overlap boundary: consolidated task sets plus the read store.
-		sections := append(storeSections(store, c.Rank()), ckpt.Section{Name: sectionTasks, Data: overlap.EncodeTasks(tasks)})
-		if err := ck.snapshot(c, ckpt.StageOverlap, sections, &rr.Overlap.Breakdown); err != nil {
-			return RankReport{}, nil, err
-		}
-	}
-
-	recs, alStats := alignStage(c, model, view, tasks, cfg)
-	rr.Align = alStats
-	rr.VirtualTotal = c.Now()
-	return rr, recs, nil
+	recs := w.alignTasks(tasks)
+	return w.rr, recs, nil
 }
 
 // ExecuteComm runs the full pipeline collectively on c's world — whatever
@@ -627,8 +582,14 @@ func (rep *Report) PAFRecordsFromStore(store *fastq.ReadStore) []paf.Record {
 }
 
 func (rep *Report) pafRecords(name func(uint32) string) []paf.Record {
-	out := make([]paf.Record, 0, len(rep.Records))
-	for _, a := range rep.Records {
+	return pafFromAlignments(rep.Records, name)
+}
+
+// pafFromAlignments renders alignment records as PAF rows under a name
+// map — shared by the batch report and the serve-mode query path.
+func pafFromAlignments(recs []Alignment, name func(uint32) string) []paf.Record {
+	out := make([]paf.Record, 0, len(recs))
+	for _, a := range recs {
 		out = append(out, paf.Record{
 			QName: name(a.A), QLen: a.ALen, QStart: a.AStart, QEnd: a.AEnd,
 			Strand: a.Strand,

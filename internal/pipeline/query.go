@@ -1,0 +1,263 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"dibella/internal/dht"
+	"dibella/internal/fastq"
+	"dibella/internal/kmer"
+	"dibella/internal/machine"
+	"dibella/internal/overlap"
+	"dibella/internal/paf"
+	"dibella/internal/spmd"
+	"dibella/internal/stats"
+	"dibella/internal/walltime"
+)
+
+// QueryRead is one read of a served query batch. Query reads take the
+// virtual IDs base, base+1, ... (base = the store's read count), exactly
+// the IDs they would hold appended to the indexed input — which is what
+// makes a served batch comparable byte-for-byte against a batch-mode run
+// over the concatenated read set.
+type QueryRead struct {
+	Name string
+	Seq  []byte
+}
+
+// QueryStats accumulates the query path's per-rank accounting across
+// every batch a world has served.
+type QueryStats struct {
+	Batches     int64 // batches served (collectively identical)
+	KmersRouted int64 // query k-mer occurrences this rank routed
+	PairsMade   int64 // query-involving pair messages this rank generated
+	Tasks       int64 // consolidated tasks this rank aligned (home rank only)
+	Alignments  int64 // x-drop extensions this rank executed
+	stats.Breakdown
+}
+
+// queryOcc routes one query k-mer occurrence to the k-mer's partition
+// owner — the build pass's occMsg shape, 16 bytes on the wire.
+type queryOcc struct {
+	Km kmer.Kmer
+	O  dht.Occ
+}
+
+// batchQueryView is the alignment stage's read access for a served
+// batch: query sequences are resident on every rank (the serve loop
+// broadcast the batch), so only indexed reads are ever fetched. Fetched
+// replicas live on this view, not the world's, so one batch's fetches
+// cannot leak into the next.
+type batchQueryView struct {
+	world    *fastq.LocalView
+	base     uint32
+	batch    []QueryRead
+	replicas map[uint32][]byte
+}
+
+func (v *batchQueryView) Owns(id uint32) bool { return id >= v.base || v.world.Owns(id) }
+
+func (v *batchQueryView) Seq(id uint32) []byte {
+	if id >= v.base {
+		return v.batch[id-v.base].Seq
+	}
+	if v.world.Owns(id) {
+		return v.world.Seq(id)
+	}
+	return v.replicas[id]
+}
+
+func (v *batchQueryView) OwnedSeq(id uint32) []byte {
+	if id >= v.base {
+		return v.batch[id-v.base].Seq
+	}
+	return v.world.OwnedSeq(id)
+}
+
+func (v *batchQueryView) AddReplica(id uint32, seq []byte) { v.replicas[id] = seq }
+
+func (v *batchQueryView) OwnerOf(id uint32) int { return v.world.OwnerOf(id) }
+
+// RunQuery answers one query batch against the resident partition. All
+// ranks must call it collectively with the same home and batch (the
+// serve loop broadcasts both before calling). The returned alignments
+// are assembled and sorted on rank 0 only; other ranks return nil.
+//
+// The house invariant: the records equal a batch-mode run over the
+// indexed reads plus the batch restricted to pairs involving at least
+// one query read, regardless of which home rank the frontend's scorers
+// picked — consolidation sorts tasks, seed filtering sorts seeds, and
+// the gathered records are sorted into the same total order batch mode
+// uses.
+func (w *World) RunQuery(home int, batch []QueryRead) ([]Alignment, error) {
+	c, model, cfg := w.c, w.model, w.cfg
+	p := c.Size()
+	if w.part == nil {
+		return nil, fmt.Errorf("pipeline: query against a world whose partition was dropped")
+	}
+	if cfg.MinimizerWindow > 1 {
+		return nil, fmt.Errorf("pipeline: serve queries are not supported under minimizer seeding")
+	}
+	if home < 0 || home >= p {
+		return nil, fmt.Errorf("pipeline: query home rank %d out of range (%d ranks)", home, p)
+	}
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("pipeline: empty query batch")
+	}
+	qs := &w.query
+	qs.Batches++
+	base := uint32(w.store.NumReads())
+
+	// Route this rank's slice of the batch's k-mer occurrences to their
+	// partition owners — the hash pass's exchange, one round, with query
+	// read IDs appended after the indexed ID space.
+	t0 := walltime.Now()
+	lo, hi := blockRange(len(batch), p, c.Rank())
+	send := make([][]queryOcc, p)
+	var routed int64
+	for j := lo; j < hi; j++ {
+		sc := kmer.NewScanner(batch[j].Seq, cfg.K, base+uint32(j))
+		for {
+			ex, ok := sc.Next()
+			if !ok {
+				break
+			}
+			send[ex.Kmer.Owner(p)] = append(send[ex.Kmer.Owner(p)], queryOcc{
+				Km: ex.Kmer,
+				O:  dht.MakeOcc(ex.Occ.ReadID, ex.Occ.Pos, ex.Occ.Forward),
+			})
+			routed++
+		}
+	}
+	qs.KmersRouted += routed
+	qs.LocalVirtual += price(c, model, float64(routed), machine.RateParse, 0)
+	qs.PackVirtual += price(c, model, float64(routed*16), machine.RatePack, 0)
+	qs.LocalWall += walltime.Since(t0)
+
+	preComm := c.Stats()
+	occs := spmd.Alltoallv(c, send)
+
+	// Probe the resident partition and emit every query-involving pair.
+	// The combined count decides retention exactly as the batch prune
+	// would: an entry's count covers the indexed occurrences (singletons
+	// and high-frequency tombstones included — KeepSingletons keeps
+	// both resident), the query occurrences are this batch's.
+	t0 = walltime.Now()
+	byKm := make(map[kmer.Kmer][]dht.Occ)
+	for _, msgs := range occs {
+		for _, m := range msgs {
+			byKm[m.Km] = append(byKm[m.Km], m.O)
+		}
+	}
+	kms := make([]kmer.Kmer, 0, len(byKm))
+	for km := range byKm {
+		kms = append(kms, km)
+	}
+	sort.Slice(kms, func(i, j int) bool { return kms[i] < kms[j] })
+	pairSend := make([][]overlap.PairMsg, p)
+	var made int64
+	for _, km := range kms {
+		q := byKm[km]
+		var indexed []dht.Occ
+		count := 0
+		if e, ok := w.part.Table[km]; ok {
+			count = int(e.Count)
+			indexed = e.Occs
+		}
+		combined := count + len(q)
+		if combined < 2 || combined > w.part.MaxFreq {
+			continue
+		}
+		for _, oi := range indexed {
+			for _, oq := range q {
+				// Indexed and query ID spaces are disjoint, so the pair
+				// can never be a same-read repeat.
+				pairSend[home] = append(pairSend[home], overlap.PairMsg{
+					RA: oi.Read, RB: oq.Read, PFA: oi.PosFlag, PFB: oq.PosFlag,
+				})
+				made++
+			}
+		}
+		for i := 0; i < len(q); i++ {
+			for j := i + 1; j < len(q); j++ {
+				if q[i].Read == q[j].Read {
+					continue // a repeat within one query read is not an overlap
+				}
+				pairSend[home] = append(pairSend[home], overlap.PairMsg{
+					RA: q[i].Read, RB: q[j].Read, PFA: q[i].PosFlag, PFB: q[j].PosFlag,
+				})
+				made++
+			}
+		}
+	}
+	qs.PairsMade += made
+	qs.LocalVirtual += price(c, model, float64(len(kms)), machine.RateOverlapScan, 0) +
+		price(c, model, float64(made), machine.RatePairGen, 0)
+	qs.PackVirtual += price(c, model, float64(made*16), machine.RatePack, 0)
+	qs.LocalWall += walltime.Since(t0)
+
+	pairRecv := spmd.Alltoallv(c, pairSend)
+
+	// Consolidate on the home rank (everyone else received nothing) —
+	// the batch stage's merge/filter/sort, so task and seed order are
+	// placement-independent.
+	t0 = walltime.Now()
+	tasks, ovStats, err := overlap.Consolidate(pairRecv, overlap.Config{
+		K: cfg.K, Mode: cfg.SeedMode, MinDist: cfg.MinDist, MaxSeeds: cfg.MaxSeeds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	qs.Tasks += int64(len(tasks))
+	qs.LocalVirtual += price(c, model, float64(ovStats.TasksReceived), machine.RatePairGen, 0) +
+		price(c, model, float64(ovStats.SeedsKept+ovStats.SeedsDropped), machine.RateSeedPrep, 0)
+	qs.LocalWall += walltime.Since(t0)
+
+	// Align collectively: the home rank fetches the indexed sequences it
+	// lacks through the same request/reply exchanges (and schedule) the
+	// batch stage uses; query sequences are already resident everywhere.
+	qv := &batchQueryView{world: w.view, base: base, batch: batch, replicas: make(map[uint32][]byte)}
+	recs, alStats := alignStage(c, model, qv, tasks, cfg)
+	qs.Alignments += alStats.Alignments
+	qs.addComm(preComm, c.Stats())
+
+	all := spmd.GatherTo(c, recs, 0)
+	if c.Rank() != 0 {
+		return nil, nil
+	}
+	var out []Alignment
+	for _, rs := range all {
+		out = append(out, rs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(&out[j]) })
+	return out, nil
+}
+
+// addComm accumulates the exchange/overlap deltas of the batch's
+// collectives into the query accounting.
+func (qs *QueryStats) addComm(pre, post spmd.Stats) {
+	qs.ExchangeVirtual += post.ExchangeVirtual - pre.ExchangeVirtual
+	qs.OverlapVirtual += post.OverlapVirtual - pre.OverlapVirtual
+	qs.ExchangeWall += post.ExchangeWall - pre.ExchangeWall
+	qs.OverlapWall += post.OverlapWall - pre.OverlapWall
+}
+
+// QueryPAF renders served alignments as PAF using the store's names for
+// indexed reads and the batch's names for query reads — the names a
+// batch-mode run over the concatenated input would print.
+func (w *World) QueryPAF(batch []QueryRead, recs []Alignment) []paf.Record {
+	base := uint32(w.store.NumReads())
+	name := func(id uint32) string {
+		if id >= base {
+			return batch[id-base].Name
+		}
+		return w.store.Name(id)
+	}
+	return pafFromAlignments(recs, name)
+}
+
+// blockRange returns rank r's [lo, hi) slice of n items block-distributed
+// over p ranks.
+func blockRange(n, p, r int) (int, int) {
+	return n * r / p, n * (r + 1) / p
+}

@@ -44,6 +44,11 @@ type Config struct {
 	SubFrac, InsFrac, DelFrac float64
 
 	BothStrands bool // sample reverse-complement reads with probability 1/2
+
+	// NamePrefix is prepended to every generated read name, so reads from
+	// different generator invocations (e.g. an indexed corpus and a serve
+	// query set) stay distinguishable after mixing.
+	NamePrefix string
 }
 
 // Origin is the ground-truth placement of one read.
@@ -176,7 +181,7 @@ func Generate(cfg Config) (*Dataset, error) {
 		}
 		id := len(ds.Reads)
 		ds.Reads = append(ds.Reads, &fastq.Record{
-			Name: fmt.Sprintf("sim_%06d/%d_%d", id, start, start+n),
+			Name: fmt.Sprintf("%ssim_%06d/%d_%d", cfg.NamePrefix, id, start, start+n),
 			Seq:  seq,
 			Qual: constantQual(len(seq)),
 		})

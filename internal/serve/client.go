@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"dibella/internal/pipeline"
+)
+
+// Client speaks the frontend protocol to a running daemon. One client
+// drives one connection; requests on it are answered in order.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+}
+
+// Dial connects to a daemon's frontend.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, bw: bufio.NewWriter(conn), br: bufio.NewReader(conn)}, nil
+}
+
+// QueryResult is one served batch's answer.
+type QueryResult struct {
+	PAF            []byte  // rendered PAF lines
+	Records        int     // alignment records
+	Home           int     // rank the batch was routed to
+	VirtualSeconds float64 // modeled service time on the daemon's clock
+	QueueWaitSecs  float64 // wall seconds the batch waited for admission-order service
+}
+
+// Query sends one batch and waits for its answer. Admission rejections
+// come back as errors matching the package sentinels under errors.Is
+// (ErrQueueFull, ErrBadTenant, ErrTooLarge, ErrEmptyBatch,
+// ErrShuttingDown).
+func (cl *Client) Query(tenant string, reads []pipeline.QueryRead) (*QueryResult, error) {
+	if err := writeFrontendFrame(cl.bw, frameQuery, queryRequest{Tenant: tenant, Reads: reads}); err != nil {
+		return nil, err
+	}
+	if err := cl.bw.Flush(); err != nil {
+		return nil, err
+	}
+	typ, body, err := readFrontendFrame(cl.br)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case framePAF:
+		var resp queryResponse
+		if err := decodeFrontend(body, &resp); err != nil {
+			return nil, err
+		}
+		return &QueryResult{
+			PAF: resp.PAF, Records: resp.Records, Home: resp.Home,
+			VirtualSeconds: resp.VirtualSeconds, QueueWaitSecs: resp.QueueWaitSecs,
+		}, nil
+	case frameErr:
+		var e errorResponse
+		if err := decodeFrontend(body, &e); err != nil {
+			return nil, err
+		}
+		return nil, codeErr(e.Code, e.Msg)
+	default:
+		return nil, fmt.Errorf("serve: unexpected frame type %d", typ)
+	}
+}
+
+// Shutdown asks the daemon to stop admitting work and exit once the
+// admitted queue drains.
+func (cl *Client) Shutdown(tenant string) error {
+	if err := writeFrontendFrame(cl.bw, frameShutdown, shutdownRequest{Tenant: tenant}); err != nil {
+		return err
+	}
+	if err := cl.bw.Flush(); err != nil {
+		return err
+	}
+	typ, body, err := readFrontendFrame(cl.br)
+	if err != nil {
+		return err
+	}
+	if typ == frameErr {
+		var e errorResponse
+		if err := decodeFrontend(body, &e); err != nil {
+			return err
+		}
+		if e.Code == "shutting-down" {
+			return nil // the expected acknowledgement
+		}
+		return codeErr(e.Code, e.Msg)
+	}
+	return fmt.Errorf("serve: unexpected frame type %d acknowledging shutdown", typ)
+}
+
+// Close closes the connection.
+func (cl *Client) Close() error { return cl.conn.Close() }

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"dibella/internal/pipeline"
+)
+
+// Frontend wire format, following the spmd framing idiom: a fixed
+// header (magic, type, payload length) ahead of a gob payload. The
+// frontend protocol is independent of the SPMD transport — a mem-backed
+// world serves the same frames a tcp-backed one does.
+const (
+	frontendMagic uint16 = 0xD1BF
+
+	// maxFrontendPayload bounds one frame; a request larger than this is
+	// malformed, not merely over the admission limit.
+	maxFrontendPayload = 64 << 20
+)
+
+// Frontend frame types.
+const (
+	frameQuery    uint8 = 1 // client -> server: queryRequest
+	frameShutdown uint8 = 2 // client -> server: shutdownRequest
+	framePAF      uint8 = 3 // server -> client: queryResponse
+	frameErr      uint8 = 4 // server -> client: errorResponse
+)
+
+const frontendHeaderLen = 2 + 1 + 4
+
+// queryRequest is one client query batch.
+type queryRequest struct {
+	Tenant string
+	Reads  []pipeline.QueryRead
+}
+
+// shutdownRequest asks the daemon to drain and exit.
+type shutdownRequest struct {
+	Tenant string
+}
+
+// queryResponse carries one served batch's alignments back as PAF.
+type queryResponse struct {
+	PAF            []byte  // rendered PAF lines
+	Records        int     // alignment records in PAF
+	Home           int     // rank the batch was routed to
+	VirtualSeconds float64 // rank-0 modeled clock advance serving the batch
+	QueueWaitSecs  float64 // wall seconds between admission and service start
+}
+
+// errorResponse is a structured rejection or failure.
+type errorResponse struct {
+	Code string
+	Msg  string
+}
+
+// writeFrontendFrame gob-encodes payload and writes one frame.
+func writeFrontendFrame(w io.Writer, typ uint8, payload any) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+		return fmt.Errorf("serve: encoding frame type %d: %w", typ, err)
+	}
+	if body.Len() > maxFrontendPayload {
+		return fmt.Errorf("serve: frame payload %d exceeds limit %d", body.Len(), maxFrontendPayload)
+	}
+	hdr := make([]byte, frontendHeaderLen)
+	binary.BigEndian.PutUint16(hdr[0:2], frontendMagic)
+	hdr[2] = typ
+	binary.BigEndian.PutUint32(hdr[3:7], uint32(body.Len()))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+// readFrontendFrame reads one frame header and returns the type and the
+// raw gob payload. io.EOF before any header byte means a clean close.
+func readFrontendFrame(r io.Reader) (uint8, []byte, error) {
+	hdr := make([]byte, frontendHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("serve: truncated frame header")
+		}
+		return 0, nil, err
+	}
+	if m := binary.BigEndian.Uint16(hdr[0:2]); m != frontendMagic {
+		return 0, nil, fmt.Errorf("serve: bad frame magic %#04x", m)
+	}
+	typ := hdr[2]
+	plen := binary.BigEndian.Uint32(hdr[3:7])
+	if plen > maxFrontendPayload {
+		return 0, nil, fmt.Errorf("serve: frame payload %d exceeds limit %d", plen, maxFrontendPayload)
+	}
+	body := make([]byte, plen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("serve: truncated frame payload: %w", err)
+	}
+	return typ, body, nil
+}
+
+// decodeFrontend decodes a frame payload into out.
+func decodeFrontend(body []byte, out any) error {
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(out)
+}

@@ -1,0 +1,192 @@
+// Package serve implements dibella's resident alignment-as-a-service
+// daemon: after the load and build stages, the formed world (read store
+// plus DHT partition) stays resident, and rank 0 exposes a TCP frontend
+// accepting batches of FASTQ query reads. Admission control bounds the
+// in-flight work, weighted scorers pick a home rank for every admitted
+// batch, and the SPMD world answers each batch collectively against the
+// resident index. Served output is byte-identical to a batch-mode run
+// over the indexed plus query reads, restricted to query-involving
+// pairs, regardless of which rank the scorers picked.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RankSnapshot is one rank's routing state at admission time: the
+// frontend's per-rank work-queue depth, the rank's resident memory, and
+// how many batches it has ever been routed.
+type RankSnapshot struct {
+	Rank       int
+	QueueDepth int
+	MemBytes   int64
+	Routed     int64
+}
+
+// ScorerConfig describes a named scorer with a weight for weighted
+// routing.
+type ScorerConfig struct {
+	Name   string
+	Weight float64
+}
+
+// scorerFunc computes per-rank scores in [0,1] for one scoring
+// dimension; higher is better.
+type scorerFunc func(snaps []RankSnapshot) []float64
+
+// validScorerNames maps scorer names to their implementations.
+// Unexported so the set cannot be mutated from outside.
+var validScorerNames = map[string]scorerFunc{
+	"queue-depth":     scoreQueueDepth,
+	"mem-utilization": scoreMemUtilization,
+	"load-balance":    scoreLoadBalance,
+}
+
+// IsValidScorer reports whether name is a recognized scorer.
+func IsValidScorer(name string) bool { return validScorerNames[name] != nil }
+
+// ValidScorerNames returns the sorted valid scorer names.
+func ValidScorerNames() []string {
+	names := make([]string, 0, len(validScorerNames))
+	for name := range validScorerNames {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultScorerConfigs returns the default weighted-routing profile:
+// queue-depth:2, mem-utilization:2, load-balance:1.
+func DefaultScorerConfigs() []ScorerConfig {
+	return []ScorerConfig{
+		{Name: "queue-depth", Weight: 2.0},
+		{Name: "mem-utilization", Weight: 2.0},
+		{Name: "load-balance", Weight: 1.0},
+	}
+}
+
+// ParseScorerConfigs parses a comma-separated string of "name:weight"
+// pairs. Returns nil for empty input, and an error for unknown names,
+// non-positive, NaN, or infinite weights, or malformed input.
+func ParseScorerConfigs(s string) ([]ScorerConfig, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	configs := make([]ScorerConfig, 0, len(parts))
+	for _, part := range parts {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("serve: invalid scorer config %q (expected name:weight)", strings.TrimSpace(part))
+		}
+		name := strings.TrimSpace(kv[0])
+		if !IsValidScorer(name) {
+			return nil, fmt.Errorf("serve: unknown scorer %q; valid: %s", name, strings.Join(ValidScorerNames(), ", "))
+		}
+		weight, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: invalid weight for scorer %q: %w", name, err)
+		}
+		if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+			return nil, fmt.Errorf("serve: scorer %q weight must be a finite positive number, got %v", name, weight)
+		}
+		configs = append(configs, ScorerConfig{Name: name, Weight: weight})
+	}
+	return configs, nil
+}
+
+// normalizeScorerWeights returns the configs with weights scaled to sum
+// to 1, so a profile's absolute magnitudes don't matter.
+func normalizeScorerWeights(configs []ScorerConfig) []ScorerConfig {
+	var total float64
+	for _, c := range configs {
+		total += c.Weight
+	}
+	if total <= 0 {
+		panic("serve: scorer weights sum to zero")
+	}
+	out := make([]ScorerConfig, len(configs))
+	for i, c := range configs {
+		out[i] = ScorerConfig{Name: c.Name, Weight: c.Weight / total}
+	}
+	return out
+}
+
+// PickRank evaluates the weighted scorers over the per-rank snapshots
+// and returns the best-scoring rank (lowest rank wins ties, so routing
+// is stable under equal load).
+func PickRank(configs []ScorerConfig, snaps []RankSnapshot) int {
+	if len(snaps) == 0 {
+		panic("serve: no rank snapshots to score")
+	}
+	if len(configs) == 0 {
+		configs = DefaultScorerConfigs()
+	}
+	configs = normalizeScorerWeights(configs)
+	total := make([]float64, len(snaps))
+	for _, sc := range configs {
+		scores := validScorerNames[sc.Name](snaps)
+		for i, v := range scores {
+			total[i] += sc.Weight * v
+		}
+	}
+	best := 0
+	for i := 1; i < len(total); i++ {
+		if total[i] > total[best] {
+			best = i
+		}
+	}
+	return snaps[best].Rank
+}
+
+// scoreQueueDepth favors ranks with the shallowest frontend work queue.
+func scoreQueueDepth(snaps []RankSnapshot) []float64 {
+	maxDepth := 0
+	for _, s := range snaps {
+		if s.QueueDepth > maxDepth {
+			maxDepth = s.QueueDepth
+		}
+	}
+	scores := make([]float64, len(snaps))
+	for i, s := range snaps {
+		scores[i] = 1 - float64(s.QueueDepth)/float64(maxDepth+1)
+	}
+	return scores
+}
+
+// scoreMemUtilization favors ranks holding the smallest resident
+// footprint (partition plus replicas), steering work away from the
+// memory-heavy shards.
+func scoreMemUtilization(snaps []RankSnapshot) []float64 {
+	var maxMem int64
+	for _, s := range snaps {
+		if s.MemBytes > maxMem {
+			maxMem = s.MemBytes
+		}
+	}
+	scores := make([]float64, len(snaps))
+	for i, s := range snaps {
+		scores[i] = 1 - float64(s.MemBytes)/float64(maxMem+1)
+	}
+	return scores
+}
+
+// scoreLoadBalance favors ranks that have served the fewest batches
+// over the daemon's lifetime.
+func scoreLoadBalance(snaps []RankSnapshot) []float64 {
+	var maxRouted int64
+	for _, s := range snaps {
+		if s.Routed > maxRouted {
+			maxRouted = s.Routed
+		}
+	}
+	scores := make([]float64, len(snaps))
+	for i, s := range snaps {
+		scores[i] = 1 - float64(s.Routed)/float64(maxRouted+1)
+	}
+	return scores
+}

@@ -1,0 +1,459 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"dibella/internal/paf"
+	"dibella/internal/pipeline"
+	"dibella/internal/spmd"
+	"dibella/internal/walltime"
+)
+
+// Admission rejections, surfaced to clients as structured error frames.
+var (
+	// ErrQueueFull means the bounded in-flight window is exhausted; the
+	// client should back off and retry.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrBadTenant means the request's tenant token is not on the
+	// daemon's allow list.
+	ErrBadTenant = errors.New("serve: unknown tenant token")
+	// ErrTooLarge means the batch exceeds the admission read limit.
+	ErrTooLarge = errors.New("serve: batch exceeds admission size limit")
+	// ErrEmptyBatch means the request carried no reads.
+	ErrEmptyBatch = errors.New("serve: empty query batch")
+	// ErrShuttingDown means the daemon stopped admitting work.
+	ErrShuttingDown = errors.New("serve: daemon is shutting down")
+)
+
+// errCode maps an admission or service error to its wire code.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return "queue-full"
+	case errors.Is(err, ErrBadTenant):
+		return "bad-tenant"
+	case errors.Is(err, ErrTooLarge):
+		return "too-large"
+	case errors.Is(err, ErrEmptyBatch):
+		return "empty-batch"
+	case errors.Is(err, ErrShuttingDown):
+		return "shutting-down"
+	default:
+		return "internal"
+	}
+}
+
+// codeErr maps a wire code back to its sentinel (clients use errors.Is).
+func codeErr(code, msg string) error {
+	base := map[string]error{
+		"queue-full":    ErrQueueFull,
+		"bad-tenant":    ErrBadTenant,
+		"too-large":     ErrTooLarge,
+		"empty-batch":   ErrEmptyBatch,
+		"shutting-down": ErrShuttingDown,
+	}[code]
+	if base == nil {
+		return fmt.Errorf("serve: remote error (%s): %s", code, msg)
+	}
+	// The wire message usually is the server-side error, which already
+	// starts with the sentinel's text; keep only its detail suffix.
+	if suffix, ok := strings.CutPrefix(msg, base.Error()); ok {
+		return fmt.Errorf("%w%s", base, suffix)
+	}
+	return fmt.Errorf("%w: %s", base, msg)
+}
+
+// Options configures the daemon.
+type Options struct {
+	// Addr is rank 0's frontend listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// MaxInflight bounds admitted-but-unfinished batches (default 4);
+	// the excess is rejected with ErrQueueFull, never queued unbounded.
+	MaxInflight int
+	// MaxBatchReads bounds one batch's read count (default 1024).
+	MaxBatchReads int
+	// Tenants is the allow list of tenant tokens; empty admits any.
+	Tenants []string
+	// Scorers is the weighted routing profile (default
+	// DefaultScorerConfigs).
+	Scorers []ScorerConfig
+	// MaxBatches stops the daemon after serving this many batches
+	// (0: serve until a client sends a shutdown request).
+	MaxBatches int
+	// Ready, when set, is invoked on rank 0 with the bound frontend
+	// address once the listener is up.
+	Ready func(addr string)
+	// Logf, when set, receives rank-0 progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4
+	}
+	if o.MaxBatchReads <= 0 {
+		o.MaxBatchReads = 1024
+	}
+	if len(o.Scorers) == 0 {
+		o.Scorers = DefaultScorerConfigs()
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Stats summarizes a daemon's lifetime (rank 0; followers return zero
+// stats).
+type Stats struct {
+	Served        int64
+	Rejected      int64
+	RoutedPerRank []int64
+	// VirtualSeconds is the rank-0 modeled clock advance across the
+	// serving loop (admission, routing, and every collective priced).
+	VirtualSeconds float64
+}
+
+// SPMD ops broadcast from rank 0 to keep the world's collective order
+// identical on every rank.
+const (
+	opQuery = 1
+	opStop  = 2
+	opFail  = 3
+)
+
+type servOp struct {
+	Kind  int
+	Home  int
+	Batch []pipeline.QueryRead
+	Msg   string // opFail diagnostic
+}
+
+// job is one admitted batch waiting for the SPMD loop.
+type job struct {
+	batch    []pipeline.QueryRead
+	home     int
+	reqBytes int
+	admitted walltime.Point
+	resp     chan jobResult
+}
+
+type jobResult struct {
+	resp queryResponse
+	err  error
+}
+
+type server struct {
+	w       *pipeline.World
+	opts    Options
+	tenants map[string]bool
+
+	mu         sync.Mutex
+	inflight   int
+	admitted   int64
+	rejected   int64
+	closed     bool
+	queueDepth []int
+	routed     []int64
+	mem        []int64
+
+	jobs     chan *job
+	stopOnce sync.Once
+	// respWG tracks admitted jobs whose response frame has not been
+	// written yet, so shutdown cannot cut off an answered batch.
+	respWG sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]bool
+}
+
+// Serve runs the daemon over w's world. All ranks call it collectively:
+// rank 0 listens and drives, the rest follow the broadcast op stream.
+// It returns once MaxBatches have been served or a client requested
+// shutdown.
+func Serve(w *pipeline.World, opts Options) (Stats, error) {
+	opts.setDefaults()
+	c := w.Comm()
+
+	// One collective memory snapshot up front: the partition footprint
+	// is fixed after forming, so the mem-utilization scorer routes on
+	// this gather for the daemon's lifetime.
+	mem := w.GatherMemBytes()
+
+	if c.Rank() != 0 {
+		return Stats{}, follow(w)
+	}
+
+	p := c.Size()
+	s := &server{
+		w: w, opts: opts,
+		queueDepth: make([]int, p),
+		routed:     make([]int64, p),
+		mem:        mem,
+		jobs:       make(chan *job, opts.MaxInflight+16),
+		conns:      make(map[net.Conn]bool),
+	}
+	if len(opts.Tenants) > 0 {
+		s.tenants = make(map[string]bool, len(opts.Tenants))
+		for _, t := range opts.Tenants {
+			s.tenants[t] = true
+		}
+	}
+
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		// The followers are parked on the op broadcast; fail them too so
+		// the world unwinds collectively.
+		spmd.Bcast(c, servOp{Kind: opFail, Msg: err.Error()}, 0)
+		return Stats{}, fmt.Errorf("serve: listen %s: %w", opts.Addr, err)
+	}
+	opts.Logf("serve: listening on %s (ranks=%d inflight<=%d scorers=%d)",
+		ln.Addr(), p, opts.MaxInflight, len(opts.Scorers))
+	if opts.Ready != nil {
+		opts.Ready(ln.Addr().String())
+	}
+	go s.acceptLoop(ln)
+
+	stats := s.driveLoop()
+	ln.Close()
+	s.closeConns()
+	return stats, nil
+}
+
+// follow is the non-root loop: replay rank 0's op stream so every
+// collective inside RunQuery runs in the same order on every rank.
+// Query errors are deterministic and collectively consistent, so the
+// follower keeps serving after one exactly as rank 0 does.
+func follow(w *pipeline.World) error {
+	c := w.Comm()
+	for {
+		op := spmd.Bcast(c, servOp{}, 0)
+		switch op.Kind {
+		case opQuery:
+			if _, err := w.RunQuery(op.Home, op.Batch); err != nil {
+				continue
+			}
+		case opStop:
+			return nil
+		case opFail:
+			return fmt.Errorf("serve: frontend failed: %s", op.Msg)
+		default:
+			return fmt.Errorf("serve: unknown op kind %d", op.Kind)
+		}
+	}
+}
+
+// driveLoop is rank 0's SPMD loop: drain admitted jobs in admission
+// order, broadcast each to the world, answer against the resident
+// index, and reply to the waiting connection handler.
+func (s *server) driveLoop() Stats {
+	c := s.w.Comm()
+	model := s.w.Model()
+	v0 := c.Now()
+	var served int64
+	for {
+		if s.opts.MaxBatches > 0 && served >= int64(s.opts.MaxBatches) {
+			break
+		}
+		j := <-s.jobs
+		if j == nil {
+			break // client-requested shutdown
+		}
+		// Frontend costs on the rank-0 clock: nothing is free, including
+		// decoding the request and scoring the ranks.
+		if model != nil {
+			c.Tick(model.QueryAdmitTime(float64(j.reqBytes)))
+			c.Tick(model.QueryRouteTime(c.Size(), len(s.opts.Scorers)))
+		}
+		wait := walltime.Since(j.admitted)
+		vStart := c.Now()
+		spmd.Bcast(c, servOp{Kind: opQuery, Home: j.home, Batch: j.batch}, 0)
+		recs, err := s.w.RunQuery(j.home, j.batch)
+		if err != nil {
+			j.resp <- jobResult{err: err}
+		} else {
+			var buf bytes.Buffer
+			if werr := paf.Write(&buf, s.w.QueryPAF(j.batch, recs)); werr != nil {
+				j.resp <- jobResult{err: werr}
+			} else {
+				j.resp <- jobResult{resp: queryResponse{
+					PAF:            buf.Bytes(),
+					Records:        len(recs),
+					Home:           j.home,
+					VirtualSeconds: c.Now() - vStart,
+					QueueWaitSecs:  wait.Seconds(),
+				}}
+			}
+		}
+		s.mu.Lock()
+		s.queueDepth[j.home]--
+		s.inflight--
+		s.mu.Unlock()
+		served++
+		s.opts.Logf("serve: batch %d -> rank %d (%d reads, %d records)",
+			served, j.home, len(j.batch), len(recs))
+	}
+	s.mu.Lock()
+	s.closed = true
+	rejected := s.rejected
+	routed := append([]int64(nil), s.routed...)
+	s.mu.Unlock()
+	spmd.Bcast(c, servOp{Kind: opStop}, 0)
+	s.drain()
+	// Every admitted job has an answer queued by now; wait for the
+	// handlers to finish writing them before the listener and the
+	// connections come down.
+	s.respWG.Wait()
+	return Stats{
+		Served: served, Rejected: rejected, RoutedPerRank: routed,
+		VirtualSeconds: c.Now() - v0,
+	}
+}
+
+// drain rejects every job still queued after the stop decision.
+func (s *server) drain() {
+	for {
+		select {
+		case j := <-s.jobs:
+			if j != nil {
+				j.resp <- jobResult{err: ErrShuttingDown}
+			}
+		default:
+			return
+		}
+	}
+}
+
+// admit applies admission control and, on success, routes the batch to
+// a home rank under the current snapshot and enqueues it. Rejections
+// are counted and typed.
+func (s *server) admit(req *queryRequest, reqBytes int) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reject := func(err error) (*job, error) {
+		s.rejected++
+		return nil, err
+	}
+	if s.closed {
+		return reject(ErrShuttingDown)
+	}
+	if s.tenants != nil && !s.tenants[req.Tenant] {
+		return reject(fmt.Errorf("%w: %q", ErrBadTenant, req.Tenant))
+	}
+	if len(req.Reads) == 0 {
+		return reject(ErrEmptyBatch)
+	}
+	if len(req.Reads) > s.opts.MaxBatchReads {
+		return reject(fmt.Errorf("%w: %d reads > limit %d", ErrTooLarge, len(req.Reads), s.opts.MaxBatchReads))
+	}
+	if s.inflight >= s.opts.MaxInflight {
+		return reject(fmt.Errorf("%w: %d in flight", ErrQueueFull, s.inflight))
+	}
+	if s.opts.MaxBatches > 0 && s.admitted >= int64(s.opts.MaxBatches) {
+		return reject(ErrShuttingDown)
+	}
+	snaps := make([]RankSnapshot, len(s.queueDepth))
+	for r := range snaps {
+		snaps[r] = RankSnapshot{
+			Rank: r, QueueDepth: s.queueDepth[r],
+			MemBytes: s.mem[r], Routed: s.routed[r],
+		}
+	}
+	home := PickRank(s.opts.Scorers, snaps)
+	s.inflight++
+	s.admitted++
+	s.queueDepth[home]++
+	s.routed[home]++
+	j := &job{
+		batch: req.Reads, home: home, reqBytes: reqBytes,
+		admitted: walltime.Now(), resp: make(chan jobResult, 1),
+	}
+	s.respWG.Add(1)
+	s.jobs <- j // capacity >= MaxInflight, never blocks under the bound
+	return j, nil
+}
+
+// acceptLoop accepts frontend connections until the listener closes.
+func (s *server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.connMu.Lock()
+		s.conns[conn] = true
+		s.connMu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+func (s *server) closeConns() {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+}
+
+// handleConn serves one client connection: a sequence of query (or
+// shutdown) frames, each answered in order.
+func (s *server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
+	for {
+		typ, body, err := readFrontendFrame(conn)
+		if err != nil {
+			return // closed or malformed; nothing sane to answer
+		}
+		switch typ {
+		case frameQuery:
+			var req queryRequest
+			if err := decodeFrontend(body, &req); err != nil {
+				writeFrontendFrame(conn, frameErr, errorResponse{Code: "internal", Msg: err.Error()})
+				return
+			}
+			j, err := s.admit(&req, len(body))
+			if err != nil {
+				if werr := writeFrontendFrame(conn, frameErr, errorResponse{Code: errCode(err), Msg: err.Error()}); werr != nil {
+					return
+				}
+				continue
+			}
+			res := <-j.resp
+			if res.err != nil {
+				werr := writeFrontendFrame(conn, frameErr, errorResponse{Code: errCode(res.err), Msg: res.err.Error()})
+				s.respWG.Done()
+				if werr != nil {
+					return
+				}
+				continue
+			}
+			werr := writeFrontendFrame(conn, framePAF, res.resp)
+			s.respWG.Done()
+			if werr != nil {
+				return
+			}
+		case frameShutdown:
+			var req shutdownRequest
+			if err := decodeFrontend(body, &req); err != nil {
+				return
+			}
+			if s.tenants != nil && !s.tenants[req.Tenant] {
+				writeFrontendFrame(conn, frameErr, errorResponse{Code: "bad-tenant", Msg: ErrBadTenant.Error()})
+				continue
+			}
+			s.stopOnce.Do(func() { s.jobs <- nil })
+			writeFrontendFrame(conn, frameErr, errorResponse{Code: "shutting-down", Msg: "shutdown accepted"})
+		default:
+			return
+		}
+	}
+}

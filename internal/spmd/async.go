@@ -190,8 +190,14 @@ func (h *Handle[T]) Wait() [][]T {
 	c.stats.ExchangeWall += blocked
 
 	recv := make([][]T, len(rraw))
+	rec, _ := c.tr.(recvBufRecycler)
 	for src := range rraw {
 		recv[src] = castFromBytes[T](rraw[src], h.shared)
+		// Copied out — recycle the pooled frame payload (own rank's
+		// column aliases the posted send buffer; skip it).
+		if rec != nil && !h.shared && src != c.Rank() {
+			rec.RecycleRecvBuf(rraw[src])
+		}
 	}
 	return recv
 }

@@ -91,6 +91,13 @@ func writeFrame(w io.Writer, f *frame) error {
 // readFrame reads one frame from r. The returned payload is freshly
 // allocated and owned by the caller.
 func readFrame(r io.Reader) (frame, error) {
+	return readFrameBuf(r, func(n int) []byte { return make([]byte, n) })
+}
+
+// readFrameBuf reads one frame from r, obtaining the payload buffer from
+// alloc (which must return a length-n slice). The pooled read path
+// passes getFrameBuf; everything else allocates fresh.
+func readFrameBuf(r io.Reader, alloc func(n int) []byte) (frame, error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return frame{}, err
@@ -112,7 +119,7 @@ func readFrame(r io.Reader) (frame, error) {
 		return frame{}, fmt.Errorf("spmd: frame payload %d exceeds limit %d", plen, maxFramePayload)
 	}
 	if plen > 0 {
-		f.Payload = make([]byte, plen)
+		f.Payload = alloc(int(plen))
 		if _, err := io.ReadFull(r, f.Payload); err != nil {
 			return frame{}, fmt.Errorf("spmd: short frame payload: %w", err)
 		}

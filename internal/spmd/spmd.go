@@ -346,8 +346,15 @@ func Alltoallv[T any](c *Comm, send [][]T) [][]T {
 		collectiveFailed(c, "alltoallv", err)
 	}
 	recv := make([][]T, p)
+	rec, _ := c.tr.(recvBufRecycler)
 	for src := 0; src < p; src++ {
 		recv[src] = castFromBytes[T](rraw[src], shared)
+		// The copy above ends the raw buffer's life — recycle it. The
+		// rank's own column aliases the caller's send buffer, not a
+		// pooled one; leave it alone.
+		if rec != nil && !shared && src != c.Rank() {
+			rec.RecycleRecvBuf(rraw[src])
+		}
 	}
 	c.clock = tmax + c.modelAlltoallv(bmax)
 	c.stats.Alltoallvs++
@@ -435,9 +442,15 @@ func gatherVals[T any](c *Comm, v T) []T {
 			collectiveFailed(c, "allgather", err)
 		}
 		out = make([]T, len(blobs))
+		rec, _ := c.tr.(recvBufRecycler)
 		for i, blob := range blobs {
 			if err := decodeGob(blob, &out[i]); err != nil {
 				panic(fmt.Errorf("spmd: allgather decode from rank %d: %w", i, err))
+			}
+			// Decoded: the raw blob can be reused. The own-rank column is
+			// the caller-side encode buffer, not a pooled frame.
+			if rec != nil && i != c.Rank() {
+				rec.RecycleRecvBuf(blob)
 			}
 		}
 		tmax = t

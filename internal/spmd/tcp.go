@@ -440,11 +440,13 @@ func (t *tcpTransport) writeLoop(p *peerConn) {
 }
 
 // readLoop decodes frames from one peer for the life of the world,
-// delivering them (or the terminal error) to the collective receive path.
+// delivering them (or the terminal error) to the collective receive
+// path. Payloads come from the frame pool; the typed layer recycles
+// them (RecycleRecvBuf) after copying the data out.
 func (t *tcpTransport) readLoop(p *peerConn) {
 	br := bufio.NewReaderSize(p.conn, 64<<10)
 	for {
-		f, err := readFrame(br)
+		f, err := readFramePooled(br)
 		var msg peerMsg
 		switch {
 		case err != nil:
@@ -629,6 +631,10 @@ func (t *tcpTransport) exchange(send [][]byte, clock, sentBytes float64) ([][]by
 func (t *tcpTransport) Rank() int    { return t.rank }
 func (t *tcpTransport) Size() int    { return t.size }
 func (t *tcpTransport) Shared() bool { return false }
+
+// RecycleRecvBuf returns a received frame payload to the pool once the
+// typed layer has copied its contents out (recvBufRecycler).
+func (t *tcpTransport) RecycleRecvBuf(b []byte) { putFrameBuf(b) }
 
 func (t *tcpTransport) Alltoallv(send [][]byte, clock, sentBytes float64) ([][]byte, float64, float64, error) {
 	return t.exchange(send, clock, sentBytes)
