@@ -9,7 +9,10 @@ package main
 //
 // on the flagged line or on the line directly above it. The reason is
 // mandatory — a suppression without one is itself reported (analyzer
-// "suppress") and does not suppress anything.
+// "suppress") and does not suppress anything. A well-formed directive
+// that matches no diagnostic is stale — the code it excused has been
+// fixed or moved — and is reported too, so suppressions cannot outlive
+// their findings.
 
 import (
 	"fmt"
@@ -31,31 +34,35 @@ type Diagnostic struct {
 	Suppressed string `json:"suppressed,omitempty"`
 }
 
-// Analyzer is one static check over a type-checked package.
+// Analyzer is one static check over a type-checked package. Run also
+// receives the whole-run Program, whose call-graph summaries let a
+// check reason across function and package boundaries.
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(p *Pkg, cfg *Config, report reporter)
+	Run  func(p *Pkg, prog *Program, cfg *Config, report reporter)
 }
 
 type reporter func(pos token.Pos, format string, args ...any)
 
 // allAnalyzers returns the suite in reporting order.
 func allAnalyzers() []*Analyzer {
-	return []*Analyzer{spmdorderAnalyzer, detmapAnalyzer, modeledcostAnalyzer, collecterrAnalyzer}
+	return []*Analyzer{spmdorderAnalyzer, detmapAnalyzer, modeledcostAnalyzer, collecterrAnalyzer, handleleakAnalyzer}
 }
 
 // suppression is one parsed //lint:ignore directive.
 type suppression struct {
 	analyzer string
 	reason   string
+	pos      token.Pos
+	used     bool
 }
 
 // collectSuppressions parses every //lint:ignore directive in the package,
 // keyed by file and line. Malformed directives (no analyzer, or no reason)
 // are reported immediately.
-func collectSuppressions(p *Pkg, report reporter) map[string]map[int]suppression {
-	sups := make(map[string]map[int]suppression)
+func collectSuppressions(p *Pkg, report reporter) map[string]map[int]*suppression {
+	sups := make(map[string]map[int]*suppression)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -71,10 +78,10 @@ func collectSuppressions(p *Pkg, report reporter) map[string]map[int]suppression
 				pos := p.Fset.Position(c.Pos())
 				byLine := sups[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]suppression)
+					byLine = make(map[int]*suppression)
 					sups[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = suppression{analyzer: fields[0], reason: strings.Join(fields[1:], " ")}
+				byLine[pos.Line] = &suppression{analyzer: fields[0], reason: strings.Join(fields[1:], " "), pos: c.Pos()}
 			}
 		}
 	}
@@ -83,8 +90,9 @@ func collectSuppressions(p *Pkg, report reporter) map[string]map[int]suppression
 
 // runAnalyzers runs the given analyzers over one package, applies
 // suppressions, and returns all diagnostics (suppressed ones carry the
-// reason and do not fail the run).
-func runAnalyzers(p *Pkg, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+// reason and do not fail the run). A directive that suppressed nothing
+// is reported as stale.
+func runAnalyzers(p *Pkg, prog *Program, cfg *Config, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	reportAs := func(name string) reporter {
 		return func(pos token.Pos, format string, args ...any) {
@@ -100,7 +108,7 @@ func runAnalyzers(p *Pkg, cfg *Config, analyzers []*Analyzer) []Diagnostic {
 	}
 	sups := collectSuppressions(p, reportAs("suppress"))
 	for _, a := range analyzers {
-		a.Run(p, cfg, reportAs(a.Name))
+		a.Run(p, prog, cfg, reportAs(a.Name))
 	}
 	for i := range diags {
 		d := &diags[i]
@@ -110,7 +118,16 @@ func runAnalyzers(p *Pkg, cfg *Config, analyzers []*Analyzer) []Diagnostic {
 		for _, line := range []int{d.Line, d.Line - 1} {
 			if s, ok := sups[d.File][line]; ok && s.analyzer == d.Analyzer {
 				d.Suppressed = s.reason
+				s.used = true
 				break
+			}
+		}
+	}
+	reportStale := reportAs("suppress")
+	for _, byLine := range sups {
+		for _, s := range byLine {
+			if !s.used {
+				reportStale(s.pos, "//lint:ignore %s suppresses nothing: the finding it excused is gone, remove the stale directive", s.analyzer)
 			}
 		}
 	}

@@ -27,7 +27,7 @@ var collecterrAnalyzer = &Analyzer{
 	Run:  runCollecterr,
 }
 
-func runCollecterr(p *Pkg, cfg *Config, report reporter) {
+func runCollecterr(p *Pkg, _ *Program, cfg *Config, report reporter) {
 	for _, fd := range funcDecls(p) {
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			switch n := n.(type) {

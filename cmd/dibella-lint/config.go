@@ -28,6 +28,11 @@ type Config struct {
 	// change the bytes of the PAF output or a checkpoint digest.
 	DetmapPackages []string
 
+	// HandleTypes names the SpmdPath types that represent a posted,
+	// not-yet-completed exchange; handleleak requires every value of
+	// these types to reach Wait on every path.
+	HandleTypes map[string]bool
+
 	// TransportTypes names the SpmdPath interface types whose method
 	// calls move bytes (modeledcost call sites), mapped to the method
 	// names that actually post or complete an exchange.
@@ -65,7 +70,12 @@ func DefaultConfig() *Config {
 			"dibella/internal/paf",
 			"dibella/internal/pipeline",
 			"dibella/internal/ckpt",
+			// Served PAF is output too: a nondeterministic iteration in
+			// the daemon's routing or reply path would break the
+			// serve-vs-batch byte-identity invariant.
+			"dibella/internal/serve",
 		},
+		HandleTypes: set("PendingExchange", "Handle", "PackedHandle"),
 		TransportTypes: map[string]map[string]bool{
 			"Transport":       set("Alltoallv", "IAlltoallv", "Allgather", "Barrier"),
 			"PendingExchange": set("Wait"),

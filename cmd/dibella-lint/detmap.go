@@ -39,7 +39,7 @@ var detmapAnalyzer = &Analyzer{
 	Run:  runDetmap,
 }
 
-func runDetmap(p *Pkg, cfg *Config, report reporter) {
+func runDetmap(p *Pkg, _ *Program, cfg *Config, report reporter) {
 	if !cfg.detmapAudited(p.ImportPath) {
 		return
 	}

@@ -1,20 +1,26 @@
 // Command dibella-lint statically enforces the repository's SPMD,
 // determinism, and cost-model invariants (see docs/LINT.md):
 //
-//	spmdorder    collectives must not be control-dependent on the rank
+//	spmdorder    collectives must not be control-dependent on the rank,
+//	             directly or through any call chain
 //	detmap       no map-iteration order, time.Now, or math/rand in
 //	             output-affecting packages
 //	modeledcost  transport/commit call sites must be priced by a
 //	             machine.Model call — nothing is modeled as free
 //	collecterr   collective/checkpoint errors must not be dropped
+//	handleleak   posted exchange handles must reach Wait on every path
 //
 // Usage:
 //
-//	dibella-lint [-json] [packages ...]
+//	dibella-lint [-json] [-sarif file] [packages ...]
 //
-// Packages default to ./... and use `go list` syntax. Diagnostics are
-// suppressed per line with `//lint:ignore <analyzer> <reason>` (reason
-// mandatory). Exit status: 0 clean, 1 diagnostics, 2 load failure.
+// Packages default to ./... and use `go list` syntax. The analyzers
+// share an interprocedural engine: whole-run call-graph summaries
+// computed to a fixpoint over every loaded package (see docs/LINT.md).
+// Diagnostics are suppressed per line with
+// `//lint:ignore <analyzer> <reason>` (reason mandatory); a directive
+// that suppresses nothing is itself reported as stale. Exit status:
+// 0 clean, 1 diagnostics, 2 load failure.
 package main
 
 import (
@@ -22,13 +28,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
 	showSuppressed := flag.Bool("suppressed", false, "also print suppressed diagnostics (with their reasons)")
+	sarifOut := flag.String("sarif", "", "also write diagnostics as SARIF 2.1.0 to `file`")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: dibella-lint [-json] [-suppressed] [packages ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dibella-lint [-json] [-suppressed] [-sarif file] [packages ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,15 +46,29 @@ func main() {
 	}
 
 	cfg := DefaultConfig()
+	t0 := time.Now()
 	pkgs, err := loadPackages(patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dibella-lint: %v\n", err)
 		os.Exit(2)
 	}
+	tLoad := time.Now()
 
+	prog := NewProgram(pkgs, cfg)
 	var all []Diagnostic
 	for _, p := range pkgs {
-		all = append(all, runAnalyzers(p, cfg, allAnalyzers())...)
+		all = append(all, runAnalyzers(p, prog, cfg, allAnalyzers())...)
+	}
+	// The gate runs on every push; keep its cost visible so a slow
+	// analyzer is noticed before it is felt.
+	fmt.Fprintf(os.Stderr, "dibella-lint: %d packages: load %.1fs, analyze %.1fs\n",
+		len(pkgs), tLoad.Sub(t0).Seconds(), time.Since(tLoad).Seconds())
+
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, allAnalyzers(), all); err != nil {
+			fmt.Fprintf(os.Stderr, "dibella-lint: writing SARIF: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	failing := 0

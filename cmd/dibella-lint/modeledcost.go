@@ -12,9 +12,10 @@ package main
 // plus checkpoint commits (ckpt.Writer.Snapshot). The enclosing function
 // must price: it must call one of the cost-model methods (AlltoallvTime,
 // CollectiveTime, IPostTime, StreamChunkTime, ChunkPostTime,
-// SnapshotTime), directly or through a same-package helper (the closure
-// is computed to a fixpoint, so spmd's modelAlltoallv-style wrappers
-// count).
+// SnapshotTime), directly or through any helper. Pricing reachability
+// comes from the interprocedural summaries (summary.go), so wrapper
+// layers count across package boundaries — spmd's modelAlltoallv-style
+// wrappers and cross-package cost helpers alike.
 
 import (
 	"go/ast"
@@ -27,8 +28,7 @@ var modeledcostAnalyzer = &Analyzer{
 	Run:  runModeledcost,
 }
 
-func runModeledcost(p *Pkg, cfg *Config, report reporter) {
-	pricing := pricingClosure(p, cfg)
+func runModeledcost(p *Pkg, prog *Program, cfg *Config, report reporter) {
 	transportIfaces := transportInterfaces(p, cfg)
 	for _, fd := range funcDecls(p) {
 		fn, _ := p.Info.Defs[fd.Name].(*types.Func)
@@ -38,7 +38,8 @@ func runModeledcost(p *Pkg, cfg *Config, report reporter) {
 			// consumers of it.
 			continue
 		}
-		priced := fn != nil && pricing[fn]
+		sum := prog.SummaryOf(fn)
+		priced := sum != nil && sum.Prices
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -135,55 +136,4 @@ func implementsTransport(fn *types.Func, ifaces []*types.Interface) bool {
 		}
 	}
 	return false
-}
-
-// pricingClosure computes the package's functions that price modeled
-// cost: those calling a cost-model method directly, plus (to a fixpoint)
-// those calling a same-package function already in the closure.
-func pricingClosure(p *Pkg, cfg *Config) map[*types.Func]bool {
-	// calls maps each declared function to the same-package functions it
-	// calls.
-	calls := make(map[*types.Func]map[*types.Func]bool)
-	closure := make(map[*types.Func]bool)
-	for _, fd := range funcDecls(p) {
-		fn, _ := p.Info.Defs[fd.Name].(*types.Func)
-		if fn == nil {
-			continue
-		}
-		out := make(map[*types.Func]bool)
-		calls[fn] = out
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			callee := calleeOf(p.Info, call)
-			if callee == nil {
-				return true
-			}
-			if cfg.PricingMethods[callee.Name()] {
-				closure[fn] = true
-			}
-			if callee.Pkg() == p.Types {
-				out[callee] = true
-			}
-			return true
-		})
-	}
-	for changed := true; changed; {
-		changed = false
-		for fn, callees := range calls {
-			if closure[fn] {
-				continue
-			}
-			for callee := range callees {
-				if closure[callee] {
-					closure[fn] = true
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	return closure
 }

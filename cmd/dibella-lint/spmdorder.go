@@ -8,12 +8,23 @@ package main
 // ranks enter the exchange, the rest never arrive, and the world
 // deadlocks (or, worse, a later collective pairs with the wrong one).
 //
-// The analyzer taints every variable whose value derives from a Rank()
-// call (transitively through local assignments, within one function) and
-// flags any collective call whose enclosing if/switch/for condition
-// mentions a tainted value or calls Rank() directly. The safe idiom —
-// rank-conditional *local* work whose result is then shared by an
-// unconditional collective (Bcast, AgreeCommit) — is untouched.
+// The check runs on the interprocedural engine (callgraph.go,
+// summary.go). Three shapes are flagged:
+//
+//   - a collective called directly under a rank-derived condition;
+//   - a call to a function that *transitively* executes a collective
+//     (per its summary) under a rank-derived condition — the
+//     helper-wrapped variant the intraprocedural pass could not see;
+//   - a rank-derived argument passed to a parameter that controls a
+//     callee's collective schedule (a trip count, a branch selector):
+//     the callee runs different collective sequences on different
+//     ranks even though the call site itself is unconditional.
+//
+// Rank taint crosses calls through the summaries (a MyRank()-style
+// wrapper taints its callers) and is *sanitized* by collectives: a
+// Bcast-shared value is world-uniform, so the sanctioned idiom —
+// rank-conditional local work, then an unconditional collective to
+// share the result — stays clean.
 
 import (
 	"go/ast"
@@ -22,96 +33,30 @@ import (
 
 var spmdorderAnalyzer = &Analyzer{
 	Name: "spmdorder",
-	Doc:  "flags collective operations control-dependent on rank-valued expressions",
+	Doc:  "flags collective operations control-dependent on rank-valued expressions, across call chains",
 	Run:  runSpmdorder,
 }
 
-func runSpmdorder(p *Pkg, cfg *Config, report reporter) {
+func runSpmdorder(p *Pkg, prog *Program, cfg *Config, report reporter) {
 	for _, fd := range funcDecls(p) {
-		tainted := rankTainted(p.Info, cfg, fd)
-		isRanky := func(e ast.Expr) bool { return mentionsRank(p.Info, cfg, tainted, e) }
-		var rankDepth int
-		var walk func(n ast.Node) bool
-		walk = func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				if rankDepth > 0 {
-					if name, ok := isCollectiveCall(p.Info, cfg, n); ok {
-						report(n.Pos(), "collective spmd.%s is control-dependent on the rank; every rank must reach the same collectives in the same order", name)
-					}
-				}
-			case *ast.IfStmt:
-				ranky := isRanky(n.Cond)
-				walkBranch(n.Init, walk)
-				ast.Inspect(n.Cond, walk)
-				if ranky {
-					rankDepth++
-				}
-				walkBranch(n.Body, walk)
-				walkBranch(n.Else, walk)
-				if ranky {
-					rankDepth--
-				}
-				return false
-			case *ast.SwitchStmt:
-				ranky := n.Tag != nil && isRanky(n.Tag)
-				if !ranky {
-					// A tagless switch is rank-dependent when any case
-					// expression is.
-					for _, s := range n.Body.List {
-						for _, e := range s.(*ast.CaseClause).List {
-							ranky = ranky || isRanky(e)
-						}
-					}
-				}
-				walkBranch(n.Init, walk)
-				if n.Tag != nil {
-					ast.Inspect(n.Tag, walk)
-				}
-				if ranky {
-					rankDepth++
-				}
-				walkBranch(n.Body, walk)
-				if ranky {
-					rankDepth--
-				}
-				return false
-			case *ast.ForStmt:
-				ranky := n.Cond != nil && isRanky(n.Cond)
-				walkBranch(n.Init, walk)
-				if n.Cond != nil {
-					ast.Inspect(n.Cond, walk)
-				}
-				walkBranch(n.Post, walk)
-				if ranky {
-					rankDepth++
-				}
-				walkBranch(n.Body, walk)
-				if ranky {
-					rankDepth--
-				}
-				return false
-			case *ast.RangeStmt:
-				ranky := isRanky(n.X)
-				ast.Inspect(n.X, walk)
-				if ranky {
-					rankDepth++
-				}
-				walkBranch(n.Body, walk)
-				if ranky {
-					rankDepth--
-				}
-				return false
-			}
-			return true
+		d := prog.declOf(p, fd)
+		if d == nil {
+			continue
 		}
-		ast.Inspect(fd.Body, walk)
-	}
-}
-
-func walkBranch(n ast.Stmt, walk func(ast.Node) bool) {
-	if n != nil {
-		ast.Inspect(n, walk)
+		labels := funcLabels(prog, d)
+		for _, site := range funcCollectiveSites(prog, d, labels) {
+			if site.mask&rankBit == 0 {
+				continue
+			}
+			switch {
+			case site.argFlow:
+				report(site.call.Pos(), "rank-derived argument to %s controls how many collectives run; every rank must reach the same collectives in the same order", site.name)
+			case site.via:
+				report(site.call.Pos(), "call to %s executes a collective and is control-dependent on the rank; every rank must reach the same collectives in the same order", site.name)
+			default:
+				report(site.call.Pos(), "collective %s is control-dependent on the rank; every rank must reach the same collectives in the same order", site.name)
+			}
+		}
 	}
 }
 
@@ -123,94 +68,4 @@ func isRankCall(info *types.Info, cfg *Config, call *ast.CallExpr) bool {
 		return false
 	}
 	return fn.Type().(*types.Signature).Recv() != nil
-}
-
-// rankTainted computes the set of objects in fd whose value derives from
-// a Rank() call, by fixpoint over the function's assignments.
-func rankTainted(info *types.Info, cfg *Config, fd *ast.FuncDecl) map[types.Object]bool {
-	tainted := make(map[types.Object]bool)
-	exprTainted := func(e ast.Expr) bool {
-		found := false
-		ast.Inspect(e, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				if isRankCall(info, cfg, n) {
-					found = true
-				}
-			case *ast.Ident:
-				if obj := info.Uses[n]; obj != nil && tainted[obj] {
-					found = true
-				}
-			}
-			return !found
-		})
-		return found
-	}
-	objOf := func(e ast.Expr) types.Object {
-		id, ok := ast.Unparen(e).(*ast.Ident)
-		if !ok {
-			return nil
-		}
-		if obj := info.Defs[id]; obj != nil {
-			return obj
-		}
-		return info.Uses[id]
-	}
-	for changed := true; changed; {
-		changed = false
-		mark := func(obj types.Object) {
-			if obj != nil && !tainted[obj] {
-				tainted[obj] = true
-				changed = true
-			}
-		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				// A multi-value RHS taints every LHS; per-position
-				// precision is not worth the complexity for a lint.
-				rhsTainted := false
-				for _, r := range n.Rhs {
-					rhsTainted = rhsTainted || exprTainted(r)
-				}
-				if rhsTainted {
-					for _, l := range n.Lhs {
-						mark(objOf(l))
-					}
-				}
-			case *ast.ValueSpec:
-				rhsTainted := false
-				for _, r := range n.Values {
-					rhsTainted = rhsTainted || exprTainted(r)
-				}
-				if rhsTainted {
-					for _, name := range n.Names {
-						mark(info.Defs[name])
-					}
-				}
-			}
-			return true
-		})
-	}
-	return tainted
-}
-
-// mentionsRank reports whether the expression reads the rank, directly or
-// through a tainted variable.
-func mentionsRank(info *types.Info, cfg *Config, tainted map[types.Object]bool, e ast.Expr) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if isRankCall(info, cfg, n) {
-				found = true
-			}
-		case *ast.Ident:
-			if obj := info.Uses[n]; obj != nil && tainted[obj] {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
 }

@@ -1,0 +1,104 @@
+// Package handleleak is a dibella-lint test fixture: posted exchange
+// handles that do (and do not) reach Wait on every path. Expected
+// diagnostics are encoded in the // want comments (see lint_test.go).
+package handleleak
+
+import (
+	"dibella/internal/machine"
+	"dibella/internal/spmd"
+)
+
+// BadEarlyReturn posts, then returns early on a non-error path with the
+// exchange still pending: the peers posted their sides, so the world's
+// next collective pairs against a half-completed matrix.
+func BadEarlyReturn(c *spmd.Comm, send [][]byte, skip bool) [][]byte {
+	h := spmd.IAlltoallv(c, send) // want handleleak:"without Wait"
+	if skip {
+		return nil
+	}
+	return h.Wait()
+}
+
+// BadDiscarded drops the handle on the floor: nothing can ever Wait.
+func BadDiscarded(c *spmd.Comm, send [][]byte) {
+	spmd.IAlltoallv(c, send) // want handleleak:"discarded without Wait"
+}
+
+// BadBlank binds the handle to the blank identifier — the same leak,
+// spelled as an assignment.
+func BadBlank(c *spmd.Comm, send [][]byte) {
+	_ = spmd.IAlltoallv(c, send) // want handleleak:"discarded without Wait"
+}
+
+// BadSkippedWait waits on one branch only; the other falls off the end
+// of the function with the exchange pending.
+func BadSkippedWait(c *spmd.Comm, send [][]byte, flush bool) {
+	h := spmd.IAlltoallv(c, send) // want handleleak:"end of the function"
+	if flush {
+		h.Wait()
+	}
+}
+
+// GoodWaited is the plain post → wait pairing.
+func GoodWaited(c *spmd.Comm, send [][]byte) [][]byte {
+	h := spmd.IAlltoallv(c, send)
+	return h.Wait()
+}
+
+// GoodBothBranches waits on every arm before leaving.
+func GoodBothBranches(c *spmd.Comm, send [][]byte, drain bool) int {
+	h := spmd.IAlltoallv(c, send)
+	if drain {
+		return len(h.Wait())
+	}
+	h.Wait()
+	return 0
+}
+
+// GoodErrGuard is the transport idiom: on the error arm the exchange
+// was never posted, so there is nothing to Wait on.
+func GoodErrGuard(m *machine.Model, tr spmd.Transport, send [][]byte) ([][]byte, error) {
+	pe, err := tr.IAlltoallv(send, m.IPostTime(), 0)
+	if err != nil {
+		return nil, err
+	}
+	recv, _, _, err := pe.Wait()
+	return recv, err
+}
+
+// GoodReturned hands the handle to the caller: ownership moved, the
+// Wait obligation moves with it.
+func GoodReturned(c *spmd.Comm, send [][]byte) *spmd.Handle[byte] {
+	h := spmd.IAlltoallv(c, send)
+	return h
+}
+
+// GoodNamedResult publishes the handle through a named result on a
+// bare return.
+func GoodNamedResult(c *spmd.Comm, send [][]byte) (h *spmd.Handle[byte]) {
+	h = spmd.IAlltoallv(c, send)
+	return
+}
+
+// GoodLoopAppend parks handles in a pending slice and drains it later:
+// append moves ownership somewhere this walk cannot follow, so it
+// counts as a discharge, not a leak.
+func GoodLoopAppend(c *spmd.Comm, batches [][][]byte) [][][]byte {
+	var pending []*spmd.Handle[byte]
+	for _, send := range batches {
+		h := spmd.IAlltoallv(c, send)
+		pending = append(pending, h)
+	}
+	var out [][][]byte
+	for _, h := range pending {
+		out = append(out, h.Wait())
+	}
+	return out
+}
+
+// SuppressedLeak carries a reasoned //lint:ignore: the diagnostic is
+// still emitted but marked suppressed and does not fail the run.
+func SuppressedLeak(c *spmd.Comm, send [][]byte) {
+	//lint:ignore handleleak fixture exercising the suppression path
+	spmd.IAlltoallv(c, send) // wantsup handleleak:"discarded without Wait"
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"dibella/internal/paf"
 	"dibella/internal/pipeline"
@@ -139,7 +140,10 @@ type job struct {
 	home     int
 	reqBytes int
 	admitted walltime.Point
-	resp     chan jobResult
+	// wait is the queue latency, captured when the job is dequeued
+	// (before the query runs) so QueueWaitSecs excludes service time.
+	wait time.Duration
+	resp chan jobResult
 }
 
 type jobResult struct {
@@ -150,6 +154,7 @@ type jobResult struct {
 type server struct {
 	w       *pipeline.World
 	opts    Options
+	ln      net.Listener
 	tenants map[string]bool
 
 	mu         sync.Mutex
@@ -167,13 +172,19 @@ type server struct {
 	// written yet, so shutdown cannot cut off an answered batch.
 	respWG sync.WaitGroup
 
+	// conns is a slice, not a map: closeConns walks it, and the serve
+	// package is detmap-audited — connection teardown order stays
+	// deterministic (accept order) rather than map-iteration order.
 	connMu sync.Mutex
-	conns  map[net.Conn]bool
+	conns  []net.Conn
 }
 
-// Serve runs the daemon over w's world. All ranks call it collectively:
-// rank 0 listens and drives, the rest follow the broadcast op stream.
-// It returns once MaxBatches have been served or a client requested
+// Serve runs the daemon over w's world. All ranks call it collectively
+// and run the same loop: rank 0 owns the frontend (listener, admission,
+// replies — all local work), and every collective — the op broadcast
+// and the query itself — sits on the unconditional path, so every rank
+// reaches the same collectives in the same order by construction.
+// Serve returns once MaxBatches have been served or a client requested
 // shutdown.
 func Serve(w *pipeline.World, opts Options) (Stats, error) {
 	opts.setDefaults()
@@ -184,18 +195,71 @@ func Serve(w *pipeline.World, opts Options) (Stats, error) {
 	// this gather for the daemon's lifetime.
 	mem := w.GatherMemBytes()
 
-	if c.Rank() != 0 {
-		return Stats{}, follow(w)
+	// Rank 0's frontend setup is local; a listen failure reaches the
+	// other ranks through the op stream (opFail) below, so the world
+	// unwinds collectively.
+	var s *server
+	var setupErr error
+	if c.Rank() == 0 {
+		s, setupErr = startFrontend(w, opts, mem)
 	}
 
-	p := c.Size()
+	v0 := c.Now()
+	var served int64
+	for {
+		// Only rank 0 decides the next op; the decision is local work.
+		// The decision stays in its own rank-local variable and the
+		// broadcast result binds a fresh one: after the Bcast, op is
+		// world-uniform by construction, so the switch below cannot
+		// diverge the collective schedule.
+		var local servOp
+		var j *job
+		if c.Rank() == 0 {
+			if setupErr != nil {
+				local = servOp{Kind: opFail, Msg: setupErr.Error()}
+			} else {
+				local, j = s.next(served)
+			}
+		}
+		op := spmd.Bcast(c, local, 0)
+		switch op.Kind {
+		case opQuery:
+			// Query errors are deterministic and collectively
+			// consistent, so every rank keeps serving after one; rank 0
+			// also reports it to the waiting client.
+			vStart := c.Now()
+			recs, err := w.RunQuery(op.Home, op.Batch)
+			served++
+			if c.Rank() == 0 {
+				s.finish(j, recs, err, served, c.Now()-vStart)
+			}
+		case opStop:
+			if c.Rank() == 0 {
+				return s.shutdown(served, c.Now()-v0), nil
+			}
+			return Stats{}, nil
+		case opFail:
+			if c.Rank() == 0 {
+				return Stats{}, setupErr
+			}
+			return Stats{}, fmt.Errorf("serve: frontend failed: %s", op.Msg)
+		default:
+			return Stats{}, fmt.Errorf("serve: unknown op kind %d", op.Kind)
+		}
+	}
+}
+
+// startFrontend builds rank 0's server state and brings up the
+// listener and accept loop. No collectives: a failure here is local
+// until the op stream shares it.
+func startFrontend(w *pipeline.World, opts Options, mem []int64) (*server, error) {
+	p := w.Comm().Size()
 	s := &server{
 		w: w, opts: opts,
 		queueDepth: make([]int, p),
 		routed:     make([]int64, p),
 		mem:        mem,
 		jobs:       make(chan *job, opts.MaxInflight+16),
-		conns:      make(map[net.Conn]bool),
 	}
 	if len(opts.Tenants) > 0 {
 		s.tenants = make(map[string]bool, len(opts.Tenants))
@@ -203,114 +267,86 @@ func Serve(w *pipeline.World, opts Options) (Stats, error) {
 			s.tenants[t] = true
 		}
 	}
-
 	ln, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
-		// The followers are parked on the op broadcast; fail them too so
-		// the world unwinds collectively.
-		spmd.Bcast(c, servOp{Kind: opFail, Msg: err.Error()}, 0)
-		return Stats{}, fmt.Errorf("serve: listen %s: %w", opts.Addr, err)
+		return nil, fmt.Errorf("serve: listen %s: %w", opts.Addr, err)
 	}
+	s.ln = ln
 	opts.Logf("serve: listening on %s (ranks=%d inflight<=%d scorers=%d)",
 		ln.Addr(), p, opts.MaxInflight, len(opts.Scorers))
 	if opts.Ready != nil {
 		opts.Ready(ln.Addr().String())
 	}
 	go s.acceptLoop(ln)
-
-	stats := s.driveLoop()
-	ln.Close()
-	s.closeConns()
-	return stats, nil
+	return s, nil
 }
 
-// follow is the non-root loop: replay rank 0's op stream so every
-// collective inside RunQuery runs in the same order on every rank.
-// Query errors are deterministic and collectively consistent, so the
-// follower keeps serving after one exactly as rank 0 does.
-func follow(w *pipeline.World) error {
-	c := w.Comm()
-	for {
-		op := spmd.Bcast(c, servOp{}, 0)
-		switch op.Kind {
-		case opQuery:
-			if _, err := w.RunQuery(op.Home, op.Batch); err != nil {
-				continue
-			}
-		case opStop:
-			return nil
-		case opFail:
-			return fmt.Errorf("serve: frontend failed: %s", op.Msg)
-		default:
-			return fmt.Errorf("serve: unknown op kind %d", op.Kind)
-		}
+// next dequeues rank 0's next op for the broadcast stream: admitted
+// jobs in admission order, or the stop decision. Frontend costs land
+// on the rank-0 clock here — nothing is free, including decoding the
+// request and scoring the ranks.
+func (s *server) next(served int64) (servOp, *job) {
+	if s.opts.MaxBatches > 0 && served >= int64(s.opts.MaxBatches) {
+		return servOp{Kind: opStop}, nil
 	}
-}
-
-// driveLoop is rank 0's SPMD loop: drain admitted jobs in admission
-// order, broadcast each to the world, answer against the resident
-// index, and reply to the waiting connection handler.
-func (s *server) driveLoop() Stats {
+	j := <-s.jobs
+	if j == nil {
+		return servOp{Kind: opStop}, nil // client-requested shutdown
+	}
 	c := s.w.Comm()
-	model := s.w.Model()
-	v0 := c.Now()
-	var served int64
-	for {
-		if s.opts.MaxBatches > 0 && served >= int64(s.opts.MaxBatches) {
-			break
-		}
-		j := <-s.jobs
-		if j == nil {
-			break // client-requested shutdown
-		}
-		// Frontend costs on the rank-0 clock: nothing is free, including
-		// decoding the request and scoring the ranks.
-		if model != nil {
-			c.Tick(model.QueryAdmitTime(float64(j.reqBytes)))
-			c.Tick(model.QueryRouteTime(c.Size(), len(s.opts.Scorers)))
-		}
-		wait := walltime.Since(j.admitted)
-		vStart := c.Now()
-		spmd.Bcast(c, servOp{Kind: opQuery, Home: j.home, Batch: j.batch}, 0)
-		recs, err := s.w.RunQuery(j.home, j.batch)
-		if err != nil {
-			j.resp <- jobResult{err: err}
-		} else {
-			var buf bytes.Buffer
-			if werr := paf.Write(&buf, s.w.QueryPAF(j.batch, recs)); werr != nil {
-				j.resp <- jobResult{err: werr}
-			} else {
-				j.resp <- jobResult{resp: queryResponse{
-					PAF:            buf.Bytes(),
-					Records:        len(recs),
-					Home:           j.home,
-					VirtualSeconds: c.Now() - vStart,
-					QueueWaitSecs:  wait.Seconds(),
-				}}
-			}
-		}
-		s.mu.Lock()
-		s.queueDepth[j.home]--
-		s.inflight--
-		s.mu.Unlock()
-		served++
-		s.opts.Logf("serve: batch %d -> rank %d (%d reads, %d records)",
-			served, j.home, len(j.batch), len(recs))
+	if model := s.w.Model(); model != nil {
+		c.Tick(model.QueryAdmitTime(float64(j.reqBytes)))
+		c.Tick(model.QueryRouteTime(c.Size(), len(s.opts.Scorers)))
 	}
+	j.wait = walltime.Since(j.admitted)
+	return servOp{Kind: opQuery, Home: j.home, Batch: j.batch}, j
+}
+
+// finish answers the connection handler waiting on one served batch
+// and releases its admission slot.
+func (s *server) finish(j *job, recs []pipeline.Alignment, err error, served int64, virtSecs float64) {
+	if err != nil {
+		j.resp <- jobResult{err: err}
+	} else {
+		var buf bytes.Buffer
+		if werr := paf.Write(&buf, s.w.QueryPAF(j.batch, recs)); werr != nil {
+			j.resp <- jobResult{err: werr}
+		} else {
+			j.resp <- jobResult{resp: queryResponse{
+				PAF:            buf.Bytes(),
+				Records:        len(recs),
+				Home:           j.home,
+				VirtualSeconds: virtSecs,
+				QueueWaitSecs:  j.wait.Seconds(),
+			}}
+		}
+	}
+	s.mu.Lock()
+	s.queueDepth[j.home]--
+	s.inflight--
+	s.mu.Unlock()
+	s.opts.Logf("serve: batch %d -> rank %d (%d reads, %d records)",
+		served, j.home, len(j.batch), len(recs))
+}
+
+// shutdown stops admission, rejects the queue, waits for the in-flight
+// responses to flush, and tears the frontend down.
+func (s *server) shutdown(served int64, virtSecs float64) Stats {
 	s.mu.Lock()
 	s.closed = true
 	rejected := s.rejected
 	routed := append([]int64(nil), s.routed...)
 	s.mu.Unlock()
-	spmd.Bcast(c, servOp{Kind: opStop}, 0)
 	s.drain()
 	// Every admitted job has an answer queued by now; wait for the
 	// handlers to finish writing them before the listener and the
 	// connections come down.
 	s.respWG.Wait()
+	s.ln.Close()
+	s.closeConns()
 	return Stats{
 		Served: served, Rejected: rejected, RoutedPerRank: routed,
-		VirtualSeconds: c.Now() - v0,
+		VirtualSeconds: virtSecs,
 	}
 }
 
@@ -385,7 +421,7 @@ func (s *server) acceptLoop(ln net.Listener) {
 			return
 		}
 		s.connMu.Lock()
-		s.conns[conn] = true
+		s.conns = append(s.conns, conn)
 		s.connMu.Unlock()
 		go s.handleConn(conn)
 	}
@@ -394,8 +430,26 @@ func (s *server) acceptLoop(ln net.Listener) {
 func (s *server) closeConns() {
 	s.connMu.Lock()
 	defer s.connMu.Unlock()
-	for conn := range s.conns {
+	for _, conn := range s.conns {
 		conn.Close()
+	}
+	s.conns = nil
+}
+
+// dropConn removes one connection from the registry (swap-remove by
+// identity; the teardown order we care about is closeConns', which is
+// accept order).
+func (s *server) dropConn(conn net.Conn) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for i, c := range s.conns {
+		if c == conn {
+			last := len(s.conns) - 1
+			s.conns[i] = s.conns[last]
+			s.conns[last] = nil
+			s.conns = s.conns[:last]
+			return
+		}
 	}
 }
 
@@ -404,9 +458,7 @@ func (s *server) closeConns() {
 func (s *server) handleConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
-		s.connMu.Lock()
-		delete(s.conns, conn)
-		s.connMu.Unlock()
+		s.dropConn(conn)
 	}()
 	for {
 		typ, body, err := readFrontendFrame(conn)
