@@ -48,6 +48,15 @@ type Config struct {
 	// CollecterrExclude lists SpmdPath/CkptPath method names whose
 	// dropped results collecterr tolerates (non-collective teardown).
 	CollecterrExclude map[string]bool
+
+	// TracePath is the import path of the observability package whose
+	// event/metric name arguments tracename keys on.
+	TracePath string
+	// TraceNameFuncs maps TracePath function and method names to the
+	// argument position of the event/metric name, which must be a
+	// package-level string constant (so timelines and dashboards can
+	// grep for every name the binary can emit).
+	TraceNameFuncs map[string]int
 }
 
 // DefaultConfig audits this repository.
@@ -90,6 +99,15 @@ func DefaultConfig() *Config {
 		// Abort is the poison path: neither can desynchronize a world
 		// that is already unwinding.
 		CollecterrExclude: set("Close", "Abort"),
+		TracePath:         "dibella/internal/trace",
+		TraceNameFuncs: map[string]int{
+			"Begin": 0, "BeginTag": 0, "End": 0,
+			"Instant": 0, "InstantTag": 0,
+			"FlowOut": 0, "FlowIn": 0,
+			"RegisterCounter": 0, "RegisterCounterVec": 0,
+			"RegisterGauge": 0, "RegisterGaugeVec": 0,
+			"RegisterHistogram": 0,
+		},
 	}
 }
 

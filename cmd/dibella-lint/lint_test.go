@@ -102,6 +102,9 @@ func TestFixtures(t *testing.T) {
 		// through the package boundary via the shared call graph.
 		{"interproc", "spmdorder"},
 		{"interproc/helpers", ""},
+		// tracename/helpers declares a cross-package trace name const.
+		{"tracename", "tracename"},
+		{"tracename/helpers", ""},
 	}
 	patterns := make([]string, len(fixtures))
 	primaries := make(map[string]string, len(fixtures))

@@ -1,0 +1,6 @@
+// Package helpers declares trace names for the tracename fixture's
+// cross-package case: a qualified constant is still a package-level
+// constant.
+package helpers
+
+const TraceSharedSpan = "helpers.span"

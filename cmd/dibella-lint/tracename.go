@@ -1,0 +1,103 @@
+package main
+
+// tracename: trace event and metric names must be registered
+// package-level string constants.
+//
+// The observability plane's contract is that the full set of names a
+// binary can emit is enumerable by reading its constant declarations:
+// dashboards, alert rules, and the OBSERVABILITY.md tables are written
+// against those names, and a name synthesized at runtime (a literal in
+// one call site, a fmt.Sprintf of a request field) silently escapes
+// every one of them — or worse, turns a bounded metric family into an
+// unbounded one. Each call into the trace package that carries a name
+// (Recorder.Begin/End/Instant/Flow*, Register*) must therefore pass an
+// identifier resolving to a const declared at package scope. Tag and
+// label *values* are unconstrained: they are data, not names.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var tracenameAnalyzer = &Analyzer{
+	Name: "tracename",
+	Doc:  "flags trace event / metric names that are not package-level constants",
+	Run:  runTracename,
+}
+
+func runTracename(p *Pkg, _ *Program, cfg *Config, report reporter) {
+	// The trace package itself is exempt: it declares the emit surface
+	// and necessarily forwards name parameters through helpers.
+	if p.ImportPath == cfg.TracePath {
+		return
+	}
+	for _, fd := range funcDecls(p) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(p.Info, call)
+			if fn == nil || pkgPathOf(fn) != cfg.TracePath {
+				return true
+			}
+			idx, ok := cfg.TraceNameFuncs[fn.Name()]
+			if !ok || idx >= len(call.Args) {
+				return true
+			}
+			arg := ast.Unparen(call.Args[idx])
+			if !isPackageLevelConst(p.Info, arg) {
+				report(arg.Pos(), "trace name passed to %s.%s must be a package-level constant, not %s: every emittable name must be greppable from const declarations",
+					pathTail(cfg.TracePath), fn.Name(), describeArg(arg))
+			}
+			return true
+		})
+	}
+}
+
+// isPackageLevelConst reports whether the expression is an identifier
+// (possibly package-qualified) resolving to a constant declared at
+// package scope.
+func isPackageLevelConst(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	obj, ok := info.Uses[id].(*types.Const)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Parent() == obj.Pkg().Scope()
+}
+
+// describeArg names the offending expression kind for the diagnostic.
+func describeArg(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return "a string literal"
+	case *ast.Ident:
+		return "the variable " + e.Name
+	case *ast.SelectorExpr:
+		return "the variable " + e.Sel.Name
+	case *ast.CallExpr:
+		return "a computed value"
+	case *ast.BinaryExpr:
+		return "a concatenation"
+	}
+	return "a non-constant expression"
+}
+
+// pathTail returns the last element of an import path.
+func pathTail(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

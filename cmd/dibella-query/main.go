@@ -11,9 +11,12 @@
 //
 // Each batch is answered with the PAF rows a batch-mode dibella run over
 // (indexed reads + batch) would emit for pairs involving a batch read.
-// Admission rejections (queue full, unknown tenant, oversized or empty
-// batch, daemon shutting down) are reported with their typed reason and
-// exit status 1.
+//
+// Exit status: 0 on success, 1 on transport or I/O failure, 2 on usage
+// errors, 4 when the daemon rejects a request with a typed admission
+// reason (queue-full, bad-tenant, too-large, empty-batch,
+// shutting-down) — the sentinel name is printed on stderr so scripts
+// can branch on it.
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 		out      = flag.String("out", "", "output PAF file (default: stdout)")
 		tenant   = flag.String("tenant", "", "tenant token (required when the daemon has a -serve-tenants allow list)")
 		batch    = flag.Int("batch", 0, "split the input into batches of this many reads (0: one batch)")
+		timeout  = flag.Duration("timeout", 0, "bound on the dial and on each request/response round trip (0: none)")
 		shutdown = flag.Bool("shutdown", false, "after the queries (if any), ask the daemon to drain and exit")
 		quiet    = flag.Bool("quiet", false, "suppress per-batch progress lines")
 	)
@@ -47,8 +51,11 @@ func main() {
 	if *batch < 0 {
 		usageError("-batch must be non-negative (0 sends one batch), got %d", *batch)
 	}
+	if *timeout < 0 {
+		usageError("-timeout must be non-negative, got %v", *timeout)
+	}
 
-	cl, err := serve.Dial(*addr)
+	cl, err := serve.DialTimeout(*addr, *timeout)
 	if err != nil {
 		fatal(err)
 	}
@@ -104,7 +111,13 @@ func main() {
 	}
 }
 
+// fatal reports err and exits: typed daemon rejections exit 4 with the
+// sentinel name first on stderr, everything else (transport, I/O) exits 1.
 func fatal(err error) {
+	if code, ok := serve.RejectionCode(err); ok {
+		fmt.Fprintf(os.Stderr, "dibella-query: rejected (%s): %v\n", code, err)
+		os.Exit(4)
+	}
 	fmt.Fprintln(os.Stderr, "dibella-query:", err)
 	os.Exit(1)
 }

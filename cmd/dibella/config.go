@@ -21,15 +21,19 @@ import (
 // config flags has them checked against the launcher's values, failing
 // formation on a mismatch instead of running a silently divergent rank.
 type runParams struct {
-	In             string          `json:"in"`
-	Platform       string          `json:"platform,omitempty"`
-	Nodes          int             `json:"nodes"`
-	CkptDir        string          `json:"ckpt_dir,omitempty"`
-	CkptEvery      string          `json:"ckpt_every,omitempty"`
-	CkptAbortAfter string          `json:"ckpt_abort_after,omitempty"`
-	Resume         string          `json:"resume,omitempty"`
-	Serve          serveParams     `json:"serve"`
-	Cfg            pipeline.Config `json:"pipeline"`
+	In             string `json:"in"`
+	Platform       string `json:"platform,omitempty"`
+	Nodes          int    `json:"nodes"`
+	CkptDir        string `json:"ckpt_dir,omitempty"`
+	CkptEvery      string `json:"ckpt_every,omitempty"`
+	CkptAbortAfter string `json:"ckpt_abort_after,omitempty"`
+	Resume         string `json:"resume,omitempty"`
+	// Trace ships with the config (not in outputAffectingFlags): tracing
+	// is observability-only, but every rank must record for the teardown
+	// gather to assemble a full timeline.
+	Trace string          `json:"trace,omitempty"`
+	Serve serveParams     `json:"serve"`
+	Cfg   pipeline.Config `json:"pipeline"`
 }
 
 // serveParams is serve mode's slice of the run configuration. Only rank 0
@@ -44,6 +48,7 @@ type serveParams struct {
 	Tenants       string `json:"tenants,omitempty"`
 	Scorers       string `json:"scorers,omitempty"`
 	MaxBatches    int    `json:"max_batches,omitempty"`
+	MetricsAddr   string `json:"metrics_addr,omitempty"`
 }
 
 // serveOptions translates the serve params into daemon options,
@@ -67,6 +72,7 @@ func (p *runParams) serveOptions() (serve.Options, error) {
 		Tenants:       tenants,
 		Scorers:       scorers,
 		MaxBatches:    p.Serve.MaxBatches,
+		MetricsAddr:   p.Serve.MetricsAddr,
 	}, nil
 }
 
@@ -96,6 +102,7 @@ var configFlagFields = map[string]func(*runParams) any{
 	"ckpt-every":       func(p *runParams) any { return p.CkptEvery },
 	"ckpt-abort-after": func(p *runParams) any { return p.CkptAbortAfter },
 	"resume":           func(p *runParams) any { return p.Resume },
+	"trace":            func(p *runParams) any { return p.Trace },
 
 	"k":         func(p *runParams) any { return p.Cfg.K },
 	"m":         func(p *runParams) any { return p.Cfg.MaxFreq },
@@ -126,6 +133,7 @@ var configFlagFields = map[string]func(*runParams) any{
 	"serve-tenants":         func(p *runParams) any { return p.Serve.Tenants },
 	"route-scorers":         func(p *runParams) any { return p.Serve.Scorers },
 	"serve-batches":         func(p *runParams) any { return p.Serve.MaxBatches },
+	"metrics-addr":          func(p *runParams) any { return p.Serve.MetricsAddr },
 }
 
 // configFlagConflicts compares the flags this process's user explicitly

@@ -70,6 +70,7 @@ import (
 	"dibella/internal/serve"
 	"dibella/internal/spmd"
 	"dibella/internal/stats"
+	"dibella/internal/trace"
 )
 
 func main() {
@@ -99,6 +100,9 @@ func main() {
 		replyChunk = flag.Int("reply-chunk", spmd.DefaultChunkBytes, "stream the alignment stage's read-reply exchange in per-peer chunks of this many bytes, aligning tasks as their sequences land (0: whole-payload reply; same output; requires -async-exchange)")
 		replyDepth = flag.Int("reply-depth", spmd.DefaultStreamDepth, fmt.Sprintf("streamed reply chunk exchanges kept in flight, 1..%d (with -reply-chunk)", spmd.MaxStreamDepth))
 		buildDepth = flag.Int("build-depth", 0, fmt.Sprintf("DHT-build exchange rounds kept in flight per pass, 1..%d (0: default 2; schedule-only, the built table is identical at every depth)", spmd.MaxStreamDepth))
+
+		tracePath   = flag.String("trace", "", "record per-rank flight-recorder timelines and write a Chrome trace-event file here at teardown (open in Perfetto; observability-only: output is byte-identical with or without it)")
+		metricsAddr = flag.String("metrics-addr", "", "serve mode: rank 0 serves Prometheus /metrics and /debug/pprof/ on this address")
 
 		serveAddr     = flag.String("serve-addr", "", "serve mode: keep the formed world resident and answer FASTQ query batches on this frontend address (see the README's \"Serve mode\")")
 		serveInflight = flag.Int("serve-max-inflight", 4, "serve mode: bound on admitted-but-unfinished batches; the excess is rejected queue-full")
@@ -202,7 +206,7 @@ func main() {
 		usageError("-window only applies with -seed minimizer")
 	}
 	if *serveAddr == "" {
-		for _, name := range []string{"serve-max-inflight", "serve-max-batch-reads", "serve-tenants", "route-scorers", "serve-batches"} {
+		for _, name := range []string{"serve-max-inflight", "serve-max-batch-reads", "serve-tenants", "route-scorers", "serve-batches", "metrics-addr"} {
 			if explicit[name] {
 				usageError("-%s only applies in serve mode (set -serve-addr)", name)
 			}
@@ -310,12 +314,12 @@ func main() {
 	params := &runParams{
 		In: *in, Platform: *platform, Nodes: *nodes,
 		CkptDir: *ckptDir, CkptEvery: *ckptEvery, CkptAbortAfter: *ckptAbort,
-		Resume: *resume, Cfg: cfg,
+		Resume: *resume, Trace: *tracePath, Cfg: cfg,
 		Serve: serveParams{
 			Enabled: *serveAddr != "", Addr: *serveAddr,
 			MaxInflight: *serveInflight, MaxBatchReads: *serveMaxReads,
 			Tenants: *serveTenants, Scorers: *routeScorers,
-			MaxBatches: *serveBatches,
+			MaxBatches: *serveBatches, MetricsAddr: *metricsAddr,
 		},
 	}
 	// Checkpoint flag validation (stage-name typos) should beat forking.
@@ -343,6 +347,12 @@ func main() {
 	// only learn at world formation (join agents), so it is built later.
 	if _, err := params.platform(); err != nil {
 		fatal(err)
+	}
+	// Arm the flight recorder before any rank starts. Forked TCP workers
+	// re-exec this command line (so they arm too); join agents learn the
+	// launcher's trace path only at formation and arm in runTCP.
+	if params.Trace != "" {
+		trace.Enable(trace.DefaultCapacity)
 	}
 
 	if *transport == "mem" {
@@ -380,6 +390,7 @@ func main() {
 	if rank != 0 || rep == nil {
 		return // workers, join agents, and serve runs: no batch PAF output
 	}
+	writeTrace(params.Trace, rep.Trace)
 	writeOutput(rep, rep.PAFRecordsFromStore(store), *out, *showBrk)
 }
 
@@ -432,6 +443,7 @@ func runMem(params *runParams, p int, outPath string, showBrk bool) {
 			fatalRun(err)
 		}
 		fmt.Fprintf(os.Stderr, "resumed %s: %s\n", params.Resume, store.Stats())
+		writeTrace(params.Trace, rep.Trace)
 		writeOutput(rep, rep.PAFRecordsFromStore(store), outPath, showBrk)
 		return
 	}
@@ -449,6 +461,7 @@ func runMem(params *runParams, p int, outPath string, showBrk bool) {
 	if err != nil {
 		fatalRun(err)
 	}
+	writeTrace(params.Trace, rep.Trace)
 	writeOutput(rep, rep.PAFRecords(reads), outPath, showBrk)
 }
 
@@ -503,6 +516,11 @@ func serveWorld(c *spmd.Comm, mdl *machine.Model, store *fastq.ReadStore, params
 		fmt.Fprintf(os.Stderr, "serve: done: served=%d rejected=%d routed=%v modeled=%.4fs\n",
 			st.Served, st.Rejected, st.RoutedPerRank, st.VirtualSeconds)
 	}
+	// The teardown trace gather is itself collective, so every rank calls
+	// it; only rank 0 receives the buffers and writes the file.
+	if trace.Enabled() {
+		writeTrace(params.Trace, pipeline.GatherTrace(c))
+	}
 	return nil
 }
 
@@ -552,6 +570,11 @@ func runTCP(boot spmd.Bootstrap, params *runParams, explicit map[string]bool) (
 			return bail(err)
 		}
 		params = shipped
+		// A join agent learns the launcher wants tracing only here, after
+		// formation — arm before any rank's pipeline starts recording.
+		if params.Trace != "" {
+			trace.Enable(trace.DefaultCapacity)
+		}
 	}
 	mdl, err := params.model(tr.Size(), rank == 0)
 	if err != nil {
@@ -605,6 +628,27 @@ func runTCP(boot spmd.Bootstrap, params *runParams, explicit map[string]bool) (
 	return rep, store, rank, boot.Finish(runErr)
 }
 
+// writeTrace writes the gathered flight-recorder buffers as a Chrome
+// trace-event file. A no-op when tracing is off or on ranks that did not
+// receive the gather (everyone but rank 0).
+func writeTrace(path string, ranks []trace.RankEvents) {
+	if path == "" || ranks == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	werr := trace.WriteChrome(f, ranks)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fatal(werr)
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %s (%d ranks; open in Perfetto or chrome://tracing)\n", path, len(ranks))
+}
+
 // writeOutput prints the run summary (and breakdown) and writes the PAF
 // stream.
 func writeOutput(rep *pipeline.Report, recs []paf.Record, outPath string, breakdown bool) {
@@ -630,12 +674,19 @@ func printBreakdown(rep *pipeline.Report) {
 	// "exch bytes" is the stage's total all-to-all payload across ranks —
 	// the column to watch when comparing -seed minimizer against exact
 	// seeding, since minimizers shrink wire volume, not stage structure.
-	headers := []string{"stage", "wall", "modeled s", "exchange s", "overlapped s", "hidden", "exch bytes"}
+	// "peak mem" is the largest single rank's resident bytes measured at
+	// the stage boundary — the number that decides whether a problem fits
+	// a machine, which per-rank averages hide.
+	headers := []string{"stage", "wall", "modeled s", "exchange s", "overlapped s", "hidden", "exch bytes", "peak mem"}
 	var rows [][]string
 	for _, s := range pipeline.Stages {
 		hidden := "-"
 		if ex := rep.StageExchangeVirtual(s); ex > 0 {
 			hidden = fmt.Sprintf("%.0f%%", rep.StageOverlapVirtual(s)/ex*100)
+		}
+		peak := "-"
+		if m := rep.StageMemPeak(s); m > 0 {
+			peak = fmt.Sprintf("%d", m)
 		}
 		rows = append(rows, []string{
 			string(s),
@@ -645,10 +696,11 @@ func printBreakdown(rep *pipeline.Report) {
 			fmt.Sprintf("%.4f", rep.StageOverlapVirtual(s)),
 			hidden,
 			fmt.Sprintf("%d", rep.StageExchangeBytes(s)),
+			peak,
 		})
 	}
 	rows = append(rows, []string{
-		"total", "", "", "", "", "", fmt.Sprintf("%d", rep.ExchangeBytes()),
+		"total", "", "", "", "", "", fmt.Sprintf("%d", rep.ExchangeBytes()), "",
 	})
 	fmt.Fprint(os.Stderr, stats.FormatTable(headers, rows))
 	fmt.Fprintf(os.Stderr, "alignment load imbalance: %.3f (tasks %.4f)\n",

@@ -1,0 +1,114 @@
+// Command tracecheck validates a dibella Chrome trace-event file (the
+// output of `dibella -trace`): the JSON parses, every event carries the
+// fields Perfetto needs, phases are from the emitted set, flow events
+// carry ids, and every lane's B/E spans balance. CI runs it on the
+// traced smoke job's output so a malformed trace fails the build rather
+// than a later Perfetto import.
+//
+// Usage:
+//
+//	tracecheck trace.json
+//
+// Exit status 0 when the file validates; 1 with a diagnostic otherwise.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// traceEvent mirrors the fields trace.WriteChrome emits. Unknown fields
+// are ignored so the checker stays forward-compatible with new args.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	ID   string         `json:"id"`
+	Args map[string]any `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+var validPhases = map[string]bool{
+	"B": true, "E": true, "i": true, "s": true, "f": true, "M": true,
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(1)
+	}
+	if err := check(os.Args[1]); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(blob, &tf); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("no traceEvents")
+	}
+	// depth tracks open B spans per (pid, tid) lane: the recorder emits
+	// B/E in order per rank, so a lane must close every span it opens.
+	type lane struct{ pid, tid int }
+	depth := map[lane]int{}
+	lanes := map[lane]bool{}
+	events := 0
+	for i, e := range tf.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("event %d: missing name", i)
+		}
+		if !validPhases[e.Ph] {
+			return fmt.Errorf("event %d (%s): unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Pid == nil || e.Tid == nil {
+			return fmt.Errorf("event %d (%s): missing pid/tid", i, e.Name)
+		}
+		if e.Ph == "M" {
+			continue // metadata: names the lanes, carries no timestamp
+		}
+		events++
+		l := lane{*e.Pid, *e.Tid}
+		lanes[l] = true
+		if e.Ts == nil {
+			return fmt.Errorf("event %d (%s): missing ts", i, e.Name)
+		}
+		if *e.Ts < 0 {
+			return fmt.Errorf("event %d (%s): negative ts %g", i, e.Name, *e.Ts)
+		}
+		switch e.Ph {
+		case "B":
+			depth[l]++
+		case "E":
+			depth[l]--
+			if depth[l] < 0 {
+				return fmt.Errorf("event %d (%s): E without matching B on pid %d tid %d", i, e.Name, l.pid, l.tid)
+			}
+		case "s", "f":
+			if e.ID == "" {
+				return fmt.Errorf("event %d (%s): flow event without id", i, e.Name)
+			}
+		}
+	}
+	for l, d := range depth {
+		if d != 0 {
+			return fmt.Errorf("pid %d tid %d: %d unclosed B span(s)", l.pid, l.tid, d)
+		}
+	}
+	fmt.Printf("tracecheck: ok: %d events across %d lanes\n", events, len(lanes))
+	return nil
+}

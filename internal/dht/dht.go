@@ -11,7 +11,14 @@ import (
 	"dibella/internal/machine"
 	"dibella/internal/spmd"
 	"dibella/internal/stats"
+	"dibella/internal/trace"
 	"dibella/internal/walltime"
+)
+
+// Flight-recorder span names for the two construction passes.
+const (
+	traceBloomPass = "stage.bloom"
+	traceHashPass  = "stage.hash"
 )
 
 // Occ is a compact k-mer occurrence: the read it was seen in and its
@@ -199,10 +206,11 @@ type BuildStats struct {
 	Hash             StageStats
 	BloomBits        uint64
 	DistinctEstimate float64
-	TableEntries     int // keys resident after the Bloom pass
-	Retained         int // keys surviving the prune
-	PrunedSingleton  int // Bloom false positives removed
-	PrunedHighFreq   int // repeat k-mers removed (count > m)
+	TableEntries     int   // keys resident after the Bloom pass
+	Retained         int   // keys surviving the prune
+	PrunedSingleton  int   // Bloom false positives removed
+	PrunedHighFreq   int   // repeat k-mers removed (count > m)
+	BloomMemBytes    int64 // resident bytes at the Bloom pass's end (filter + nascent table)
 }
 
 // pricer converts counted operations into virtual time on c's clock; a nil
@@ -269,14 +277,21 @@ func Build(c *spmd.Comm, model *machine.Model, reads LocalReads, cfg Config) (*P
 	part := &Partition{K: cfg.K, MaxFreq: cfg.MaxFreq, Table: make(map[kmer.Kmer]*Entry)}
 
 	// Pass 1: Bloom filter construction.
+	rec := trace.Rec(c.Rank())
+	rec.Begin(traceBloomPass, c.Now())
 	stats.Bloom = bloomPass(c, pr, reads, cfg, rounds, filter, part)
 	stats.TableEntries = len(part.Table)
+	// The Bloom stage's peak footprint is the filter plus the nascent
+	// table — both alive this one instant, the filter freed just below.
+	stats.BloomMemBytes = part.MemBytes() + int64(filter.NumBits()/8)
+	rec.End(traceBloomPass, c.Now(), stats.Bloom.BytesPacked)
 	// The paper frees the Bloom filter here; dropping the reference is the
 	// Go equivalent.
 	filter = nil
 	_ = filter
 
 	// Pass 2: occurrence accumulation and pruning.
+	rec.Begin(traceHashPass, c.Now())
 	stats.Hash = hashPass(c, pr, reads, cfg, rounds, part)
 	t0 := walltime.Now()
 	prunedS, prunedH := prune(part, cfg.KeepSingletons)
@@ -285,6 +300,7 @@ func Build(c *spmd.Comm, model *machine.Model, reads LocalReads, cfg Config) (*P
 	stats.Hash.LocalWall += walltime.Since(t0)
 	stats.PrunedSingleton, stats.PrunedHighFreq = prunedS, prunedH
 	stats.Retained = len(part.Table)
+	rec.End(traceHashPass, c.Now(), stats.Hash.BytesPacked)
 	return part, stats, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"dibella/internal/pipeline"
 	"dibella/internal/serve"
 	"dibella/internal/spmd"
+	"dibella/internal/trace"
 )
 
 // benchReplyChunk / benchReplyDepth fix the streamed schedule's shape on
@@ -122,22 +123,29 @@ type ServeBench struct {
 // boundary, the snapshot I/O priced by the machine model) so the
 // checkpoint overhead is visible in the perf trajectory.
 type BenchResult struct {
-	Workload        string       `json:"workload"`
-	Platform        string       `json:"platform"`
-	Nodes           int          `json:"nodes"`
-	SimRanks        int          `json:"sim_ranks"`
-	Reads           int          `json:"reads"`
-	ReplyChunkBytes int          `json:"reply_chunk_bytes"`
-	ReplyDepth      int          `json:"reply_depth"`
-	Sync            BenchRun     `json:"sync"`
-	Async           BenchRun     `json:"async"`
-	Streamed        BenchRun     `json:"streamed"`
-	Ckpt            BenchRun     `json:"ckpt"`
-	CkptOverhead    float64      `json:"ckpt_overhead_fraction"`
-	SpeedupModel    float64      `json:"modeled_speedup_async_over_sync"`
-	SpeedupStreamed float64      `json:"modeled_speedup_streamed_over_sync"`
-	SweepChunkBytes int          `json:"sweep_chunk_bytes"`
-	DepthSweep      []DepthPoint `json:"streamed_depth_sweep"`
+	Workload        string   `json:"workload"`
+	Platform        string   `json:"platform"`
+	Nodes           int      `json:"nodes"`
+	SimRanks        int      `json:"sim_ranks"`
+	Reads           int      `json:"reads"`
+	ReplyChunkBytes int      `json:"reply_chunk_bytes"`
+	ReplyDepth      int      `json:"reply_depth"`
+	Sync            BenchRun `json:"sync"`
+	Async           BenchRun `json:"async"`
+	Streamed        BenchRun `json:"streamed"`
+	Ckpt            BenchRun `json:"ckpt"`
+	CkptOverhead    float64  `json:"ckpt_overhead_fraction"`
+	// Traced is the streamed run repeated with the flight recorder armed
+	// (informational: quantifies tracing's wall-clock cost). The recorder
+	// must never touch the modeled clock, so its virtual_seconds is
+	// required to be bit-identical to Streamed's — the bench fails
+	// otherwise rather than committing a snapshot of a broken recorder.
+	Traced             BenchRun     `json:"traced"`
+	TracedWallOverhead float64      `json:"traced_wall_overhead_fraction"`
+	SpeedupModel       float64      `json:"modeled_speedup_async_over_sync"`
+	SpeedupStreamed    float64      `json:"modeled_speedup_streamed_over_sync"`
+	SweepChunkBytes    int          `json:"sweep_chunk_bytes"`
+	DepthSweep         []DepthPoint `json:"streamed_depth_sweep"`
 	// Minimizer is the streamed schedule rerun with -seed minimizer at
 	// MinimizerWindow: same workload and exchange shape, sparser seed set.
 	// MinimizerByteRatio compares its build exchange bytes against the
@@ -237,12 +245,28 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("figures: ckpt bench: %w", err)
 	}
+	// The traced rerun: same streamed schedule with the flight recorder
+	// armed, so every snapshot carries the recorder's measured wall cost.
+	wasEnabled := trace.Enabled()
+	trace.Enable(trace.DefaultCapacity)
+	tracedRun, err := run(pipeline.ExchangeStreamed, benchReplyChunk, benchReplyDepth, 0, nil)
+	if !wasEnabled {
+		trace.Disable()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("figures: traced bench: %w", err)
+	}
+	if math.Float64bits(tracedRun.VirtualSeconds) != math.Float64bits(streamRun.VirtualSeconds) {
+		return nil, fmt.Errorf("figures: traced bench perturbed the modeled clock: %v traced vs %v streamed",
+			tracedRun.VirtualSeconds, streamRun.VirtualSeconds)
+	}
 	res := &BenchResult{
 		Workload: fmt.Sprintf("E. coli 30x one-seed, scale %g, seed %d", o.Scale, o.Seed),
 		Platform: machine.Cori.Name, Nodes: nodes, SimRanks: p,
 		Reads:           len(reads),
 		ReplyChunkBytes: benchReplyChunk, ReplyDepth: benchReplyDepth,
 		Sync: syncRun, Async: asyncRun, Streamed: streamRun, Ckpt: ckptRun,
+		Traced:           tracedRun,
 		SweepChunkBytes:  benchSweepChunk,
 		Minimizer:        minRun,
 		MinimizerWindow:  benchMinimizerWindow,
@@ -254,6 +278,9 @@ func ExchangeBench(o *Options) (*BenchResult, error) {
 	if streamRun.VirtualSeconds > 0 {
 		res.SpeedupStreamed = syncRun.VirtualSeconds / streamRun.VirtualSeconds
 		res.CkptOverhead = ckptRun.VirtualSeconds/streamRun.VirtualSeconds - 1
+	}
+	if streamRun.WallSeconds > 0 {
+		res.TracedWallOverhead = tracedRun.WallSeconds/streamRun.WallSeconds - 1
 	}
 	if streamRun.BuildExchangeBytes > 0 {
 		res.MinimizerByteRatio = float64(minRun.BuildExchangeBytes) / float64(streamRun.BuildExchangeBytes)

@@ -34,6 +34,7 @@ import (
 	"dibella/internal/overlap"
 	"dibella/internal/spmd"
 	"dibella/internal/stats"
+	"dibella/internal/trace"
 	"dibella/internal/walltime"
 )
 
@@ -174,6 +175,8 @@ func (ck *ckptState) snapshot(c *spmd.Comm, stage string, sections []ckpt.Sectio
 	if ck == nil || !ck.want[stage] || ckpt.StageOrder(stage) <= ck.skipThrough {
 		return nil
 	}
+	rec := trace.Rec(c.Rank())
+	rec.BeginTag(traceCkptSnap, c.Now(), stage)
 	t0 := walltime.Now()
 	nbytes, err := ck.w.Snapshot(c, stage, sections)
 	if err != nil {
@@ -185,6 +188,7 @@ func (ck *ckptState) snapshot(c *spmd.Comm, stage string, sections []ckpt.Sectio
 		brk.PackVirtual += d
 	}
 	brk.PackWall += walltime.Since(t0)
+	rec.End(traceCkptSnap, c.Now(), nbytes)
 	if ck.abortAfter == stage {
 		return fmt.Errorf("%w: stage %q snapshot committed to %s", ErrCkptAbort, stage, ck.w.Dir)
 	}

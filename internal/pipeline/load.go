@@ -23,6 +23,7 @@ import (
 
 	"dibella/internal/fastq"
 	"dibella/internal/spmd"
+	"dibella/internal/trace"
 )
 
 // shardMeta is one rank's contribution to the global read-ID map: the
@@ -55,6 +56,8 @@ func agreeError(c *spmd.Comm, op string, err error) error {
 // worlds). The store's block distribution is identical to
 // fastq.NewReadStore over the whole file.
 func LoadStore(c *spmd.Comm, path string) (*fastq.ReadStore, error) {
+	rec := trace.Rec(c.Rank())
+	rec.Begin(traceLoad, c.Now())
 	shard, parsed, err := fastq.LoadShard(path, c.Rank(), c.Size())
 
 	// Collective error agreement: if any rank failed to read its shard
@@ -63,7 +66,11 @@ func LoadStore(c *spmd.Comm, path string) (*fastq.ReadStore, error) {
 	if err := agreeError(c, "cooperative load of "+path, err); err != nil {
 		return nil, err
 	}
-	return assembleStore(c, shard, parsed)
+	store, err := assembleStore(c, shard, parsed)
+	if err == nil {
+		rec.End(traceLoad, c.Now(), parsed)
+	}
+	return store, err
 }
 
 // assembleStore builds this rank's endpoint of the canonical sharded

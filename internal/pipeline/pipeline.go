@@ -29,6 +29,7 @@ import (
 	"dibella/internal/paf"
 	"dibella/internal/spmd"
 	"dibella/internal/stats"
+	"dibella/internal/trace"
 )
 
 // ExchangeMode selects how the pipeline schedules its all-to-all
@@ -194,6 +195,33 @@ func price(c *spmd.Comm, model *machine.Model, ops, rate, workingSet float64) fl
 	return d
 }
 
+// StageMem is one rank's estimated resident footprint per stage,
+// sampled at each stage's end (Bloom inside the build, while the filter
+// is still alive — its peak instant). It feeds the -breakdown peak-mem
+// column and the resident-memory gauge.
+type StageMem struct {
+	Bloom   int64
+	Hash    int64
+	Overlap int64
+	Align   int64
+}
+
+// of returns the stage's sample.
+func (m *StageMem) of(s StageName) int64 {
+	switch s {
+	case StageBloom:
+		return m.Bloom
+	case StageHash:
+		return m.Hash
+	case StageOverlap:
+		return m.Overlap
+	case StageAlign:
+		return m.Align
+	default:
+		panic(fmt.Sprintf("pipeline: unknown stage %q", s))
+	}
+}
+
 // RankReport is one rank's complete accounting of a pipeline run. It is
 // gathered across ranks into the Report.
 type RankReport struct {
@@ -205,6 +233,7 @@ type RankReport struct {
 	Overlap      overlap.Stats
 	Align        AlignStats
 	Retained     int
+	MemPeak      StageMem
 	VirtualTotal float64 // rank's virtual clock at pipeline end
 }
 
@@ -224,6 +253,9 @@ type Report struct {
 	WallTime    time.Duration
 	// Alignment records (only when Config.KeepAlignments).
 	Records []Alignment
+	// Flight-recorder snapshots, gathered to rank 0 at teardown (only
+	// when tracing was enabled; nil on other ranks and untraced runs).
+	Trace []trace.RankEvents
 }
 
 // StageName identifies a pipeline stage in reports.
@@ -338,6 +370,18 @@ func (rep *Report) OverlapFraction() float64 {
 		}
 	}
 	return agg.OverlapFraction()
+}
+
+// StageMemPeak returns the stage's peak estimated resident bytes across
+// ranks — the -breakdown peak-mem column.
+func (rep *Report) StageMemPeak(s StageName) int64 {
+	var m int64
+	for i := range rep.PerRank {
+		if v := rep.PerRank[i].MemPeak.of(s); v > m {
+			m = v
+		}
+	}
+	return m
 }
 
 // StageWall returns the stage's measured host time (max over ranks).
@@ -502,6 +546,13 @@ func executeGather(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, c
 		}
 	}
 	rep.WallTime = walltime.Since(wall)
+	// Teardown trace gather: after every output- and clock-affecting
+	// gather above (VirtualTime is already fixed from the rank reports),
+	// so the flight recorder stays observability-only. Enabled() is not
+	// rank-derived; every rank agrees on it before the world forms.
+	if trace.Enabled() {
+		rep.Trace = GatherTrace(c)
+	}
 	return rep, nil
 }
 

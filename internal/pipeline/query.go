@@ -12,6 +12,7 @@ import (
 	"dibella/internal/paf"
 	"dibella/internal/spmd"
 	"dibella/internal/stats"
+	"dibella/internal/trace"
 	"dibella/internal/walltime"
 )
 
@@ -107,6 +108,9 @@ func (w *World) RunQuery(home int, batch []QueryRead) ([]Alignment, error) {
 	qs := &w.query
 	qs.Batches++
 	base := uint32(w.store.NumReads())
+	rec := trace.Rec(c.Rank())
+	rec.Begin(traceQuery, c.Now())
+	defer func() { rec.End(traceQuery, c.Now(), int64(len(batch))) }()
 
 	// Route this rank's slice of the batch's k-mer occurrences to their
 	// partition owners — the hash pass's exchange, one round, with query

@@ -1,0 +1,43 @@
+package pipeline
+
+import (
+	"dibella/internal/spmd"
+	"dibella/internal/trace"
+)
+
+// Flight-recorder span names for the pipeline stages and checkpoint
+// boundaries, and the pipeline's metric names. Registered package-level
+// constants, as the tracename analyzer requires.
+const (
+	traceLoad     = "stage.load"
+	traceOverlap  = "stage.overlap"
+	traceAlign    = "stage.align"
+	traceCkptSnap = "ckpt.snapshot"
+	traceQuery    = "query.batch"
+
+	metricStageExchangeBytes = "dibella_stage_exchange_bytes_total"
+	metricResidentMemory     = "dibella_resident_memory_bytes"
+)
+
+var (
+	stageExchangeBytes = trace.RegisterCounterVec(metricStageExchangeBytes,
+		"exchange payload packed per pipeline stage, summed over local ranks", "stage")
+	residentMemory = trace.RegisterGaugeVec(metricResidentMemory,
+		"estimated resident bytes (partition + replicas) per rank", "rank")
+)
+
+// GatherTrace collectively drains every rank's flight-recorder ring to
+// rank 0 and returns the per-rank snapshots there (nil elsewhere). The
+// snapshot is taken before the gather runs, so the gather's own
+// collective events never appear in the emitted trace. All ranks must
+// call it collectively; callers gate on trace.Enabled(), which every
+// rank of a world agrees on by construction (the CLI ships -trace in
+// the config every worker adopts).
+func GatherTrace(c *spmd.Comm) []trace.RankEvents {
+	snap := trace.Snapshot(c.Rank())
+	all := spmd.GatherTo(c, snap, 0)
+	if c.Rank() != 0 {
+		return nil
+	}
+	return all
+}

@@ -7,6 +7,7 @@ import (
 	"dibella/internal/machine"
 	"dibella/internal/overlap"
 	"dibella/internal/spmd"
+	"dibella/internal/trace"
 )
 
 // World is one rank's live pipeline state: the read view and the DHT
@@ -82,6 +83,14 @@ func formWorld(c *spmd.Comm, model *machine.Model, store *fastq.ReadStore, cfg C
 	}
 	w.part = part
 	w.rr.Bloom, w.rr.Hash, w.rr.Retained = buildStats.Bloom, buildStats.Hash, buildStats.Retained
+	// Stage-end memory samples: Bloom's peak (filter + nascent table) was
+	// taken inside the build while the filter was still alive; Hash is
+	// the world's footprint now that the table stands.
+	w.rr.MemPeak.Bloom = buildStats.BloomMemBytes
+	w.rr.MemPeak.Hash = w.MemBytes()
+	residentMemory.WithRank(c.Rank()).Set(w.rr.MemPeak.Hash)
+	stageExchangeBytes.With(string(StageBloom)).Add(buildStats.Bloom.BytesPacked)
+	stageExchangeBytes.With(string(StageHash)).Add(buildStats.Hash.BytesPacked)
 
 	// DHT boundary: partitions plus the read store, so the snapshot is
 	// self-contained.
@@ -100,11 +109,18 @@ func (w *World) overlapStage(ck *ckptState, res *resumeState, retain bool) ([]ov
 	if res.resumedPast(ckpt.StageDHT) {
 		return res.tasks, nil
 	}
+	rec := trace.Rec(w.c.Rank())
+	rec.Begin(traceOverlap, w.c.Now())
 	tasks, ovStats, err := overlap.Run(w.c, w.model, w.part, w.store.Owner, w.cfg.overlapConfig(w.store))
 	if err != nil {
 		return nil, err
 	}
 	w.rr.Overlap = ovStats
+	rec.End(traceOverlap, w.c.Now(), ovStats.BytesPacked)
+	stageExchangeBytes.With(string(StageOverlap)).Add(ovStats.BytesPacked)
+	// Overlap's peak: the partition is still resident alongside the
+	// consolidated tasks — sample before dropping it.
+	w.rr.MemPeak.Overlap = w.MemBytes()
 	if !retain {
 		// The hash table is no longer needed once tasks exist.
 		w.part = nil
@@ -121,9 +137,17 @@ func (w *World) overlapStage(ck *ckptState, res *resumeState, retain bool) ([]ov
 // alignTasks runs the batch alignment stage and closes out the rank's
 // virtual-clock accounting.
 func (w *World) alignTasks(tasks []overlap.Task) []Alignment {
+	rec := trace.Rec(w.c.Rank())
+	rec.Begin(traceAlign, w.c.Now())
 	recs, alStats := alignStage(w.c, w.model, w.view, tasks, w.cfg)
 	w.rr.Align = alStats
 	w.rr.VirtualTotal = w.c.Now()
+	rec.End(traceAlign, w.c.Now(), alStats.BytesPacked)
+	stageExchangeBytes.With(string(StageAlign)).Add(alStats.BytesPacked)
+	// Align's footprint: replicas fetched for remote tasks are installed
+	// on the view; the partition is gone by now in batch runs.
+	w.rr.MemPeak.Align = w.MemBytes()
+	residentMemory.WithRank(w.c.Rank()).Set(w.rr.MemPeak.Align)
 	return recs
 }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"time"
 
 	"dibella/internal/pipeline"
 )
@@ -11,18 +12,46 @@ import (
 // Client speaks the frontend protocol to a running daemon. One client
 // drives one connection; requests on it are answered in order.
 type Client struct {
-	conn net.Conn
-	bw   *bufio.Writer
-	br   *bufio.Reader
+	conn    net.Conn
+	bw      *bufio.Writer
+	br      *bufio.Reader
+	timeout time.Duration
 }
 
 // Dial connects to a daemon's frontend.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+func Dial(addr string) (*Client, error) { return DialTimeout(addr, 0) }
+
+// DialTimeout connects to a daemon's frontend, bounding the connection
+// attempt and — via SetTimeout — every subsequent request/response
+// round trip. timeout <= 0 means no bound.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	var conn net.Conn
+	var err error
+	if timeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, timeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, bw: bufio.NewWriter(conn), br: bufio.NewReader(conn)}, nil
+	cl := &Client{conn: conn, bw: bufio.NewWriter(conn), br: bufio.NewReader(conn)}
+	cl.SetTimeout(timeout)
+	return cl, nil
+}
+
+// SetTimeout bounds each subsequent request/response round trip (write
+// through reply read). 0 removes the bound. A timeout surfaces as the
+// connection's deadline error — a transport failure, deliberately
+// distinct from the daemon's typed admission rejections.
+func (cl *Client) SetTimeout(d time.Duration) { cl.timeout = d }
+
+// deadline arms the per-request connection deadline, if one is set.
+func (cl *Client) deadline() {
+	if cl.timeout > 0 {
+		//lint:ignore detmap a socket deadline needs an absolute instant; it bounds client I/O and never reaches output
+		cl.conn.SetDeadline(time.Now().Add(cl.timeout))
+	}
 }
 
 // QueryResult is one served batch's answer.
@@ -39,6 +68,7 @@ type QueryResult struct {
 // (ErrQueueFull, ErrBadTenant, ErrTooLarge, ErrEmptyBatch,
 // ErrShuttingDown).
 func (cl *Client) Query(tenant string, reads []pipeline.QueryRead) (*QueryResult, error) {
+	cl.deadline()
 	if err := writeFrontendFrame(cl.bw, frameQuery, queryRequest{Tenant: tenant, Reads: reads}); err != nil {
 		return nil, err
 	}
@@ -73,6 +103,7 @@ func (cl *Client) Query(tenant string, reads []pipeline.QueryRead) (*QueryResult
 // Shutdown asks the daemon to stop admitting work and exit once the
 // admitted queue drains.
 func (cl *Client) Shutdown(tenant string) error {
+	cl.deadline()
 	if err := writeFrontendFrame(cl.bw, frameShutdown, shutdownRequest{Tenant: tenant}); err != nil {
 		return err
 	}

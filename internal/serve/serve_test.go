@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -476,4 +479,118 @@ func TestPickRank(t *testing.T) {
 	if got := PickRank(nil, snaps); got != 0 {
 		t.Errorf("tie picked rank %d, want 0", got)
 	}
+}
+
+// TestServeMetricsEndpoint reconciles the /metrics scrape against
+// client-observed ground truth: one deterministic bad-tenant rejection
+// and two served batches must appear in the exposition exactly, and the
+// pprof index must answer. Counters are compared as deltas against a
+// pre-run snapshot because the registry is process-global across tests.
+func TestServeMetricsEndpoint(t *testing.T) {
+	indexed, query, _ := splitDataset(t, 13, 4)
+	cfg := serveTestConfig()
+	const p = 2
+
+	reqBefore := requestsTotal.Value()
+	rejBefore := rejectionsTotal.With("bad-tenant").Value()
+	latBefore := batchLatency.Count()
+
+	metricsCh := make(chan string, 1)
+	var (
+		scrape      []byte
+		pprofStatus int
+		driveErr    error
+	)
+	runServeWorld(t, p, indexed, cfg, Options{
+		Addr: "127.0.0.1:0", Tenants: []string{"alice"},
+		MetricsAddr:  "127.0.0.1:0",
+		MetricsReady: func(addr string) { metricsCh <- addr },
+	}, func(addr string) {
+		fail := func(err error) {
+			if driveErr == nil {
+				driveErr = err
+			}
+		}
+		cl, err := Dial(addr)
+		if err != nil {
+			fail(err)
+			return
+		}
+		defer cl.Close()
+		defer cl.Shutdown("alice")
+		if _, err := cl.Query("mallory", query); !errors.Is(err, ErrBadTenant) {
+			fail(fmt.Errorf("wrong tenant: got %v, want ErrBadTenant", err))
+			return
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := cl.Query("alice", query); err != nil {
+				fail(fmt.Errorf("batch %d: %w", i, err))
+				return
+			}
+		}
+		// Replies arrived, so the daemon's accounting is committed; the
+		// scrape must agree with what this client just observed.
+		murl := "http://" + <-metricsCh
+		resp, err := http.Get(murl + "/metrics")
+		if err != nil {
+			fail(err)
+			return
+		}
+		scrape, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("/metrics status %d", resp.StatusCode))
+			return
+		}
+		presp, err := http.Get(murl + "/debug/pprof/")
+		if err != nil {
+			fail(err)
+			return
+		}
+		io.Copy(io.Discard, presp.Body)
+		presp.Body.Close()
+		pprofStatus = presp.StatusCode
+	})
+	if driveErr != nil {
+		t.Fatal(driveErr)
+	}
+	if pprofStatus != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d, want 200", pprofStatus)
+	}
+
+	if got := scrapedValue(t, scrape, `dibella_serve_requests_total`); got != reqBefore+3 {
+		t.Errorf("scraped requests_total %d, want %d (3 client requests)", got, reqBefore+3)
+	}
+	if got := scrapedValue(t, scrape, `dibella_serve_rejections_total{reason="bad-tenant"}`); got != rejBefore+1 {
+		t.Errorf("scraped bad-tenant rejections %d, want %d (1 client-observed rejection)", got, rejBefore+1)
+	}
+	if got := scrapedValue(t, scrape, `dibella_serve_batch_latency_seconds_count`); got != latBefore+2 {
+		t.Errorf("scraped latency sample count %d, want %d (2 served batches)", got, latBefore+2)
+	}
+	for _, name := range []string{"dibella_resident_memory_bytes", "dibella_serve_routed_total", "dibella_serve_inflight"} {
+		if !bytes.Contains(scrape, []byte(name)) {
+			t.Errorf("scrape is missing metric %s", name)
+		}
+	}
+}
+
+// scrapedValue extracts one sample's integer value from a Prometheus
+// text exposition.
+func scrapedValue(t *testing.T, scrape []byte, sample string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(string(scrape), "\n") {
+		if rest, ok := strings.CutPrefix(line, sample+" "); ok {
+			v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				t.Fatalf("sample %s: unparseable value %q", sample, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("sample %s not found in scrape:\n%s", sample, scrape)
+	return 0
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"strings"
 	"sync"
 	"time"
@@ -12,7 +13,49 @@ import (
 	"dibella/internal/paf"
 	"dibella/internal/pipeline"
 	"dibella/internal/spmd"
+	"dibella/internal/trace"
 	"dibella/internal/walltime"
+)
+
+// Flight-recorder event names for the request path (admit → route →
+// broadcast → align → reply) and the daemon's metric names. Registered
+// package-level constants, as the tracename analyzer requires.
+//
+// Admission and routing run on connection goroutines, off the SPMD loop
+// thread that owns the virtual clock, so their events carry wall time
+// only (virtual 0). The batch span runs on the loop thread and carries
+// both clocks.
+const (
+	traceAdmit  = "serve.admit"
+	traceReject = "serve.reject"
+	traceRoute  = "serve.route"
+	traceBatch  = "serve.batch"
+	traceReply  = "serve.reply"
+
+	metricRequests    = "dibella_serve_requests_total"
+	metricRejections  = "dibella_serve_rejections_total"
+	metricInflight    = "dibella_serve_inflight"
+	metricQueueDepth  = "dibella_serve_queue_depth"
+	metricRouted      = "dibella_serve_routed_total"
+	metricLatency     = "dibella_serve_batch_latency_seconds"
+	metricResidentMem = "dibella_resident_memory_bytes" // shared with the pipeline gauge
+)
+
+var (
+	requestsTotal = trace.RegisterCounter(metricRequests,
+		"query frames reaching admission control")
+	rejectionsTotal = trace.RegisterCounterVec(metricRejections,
+		"admission rejections by sentinel reason", "reason")
+	inflightBatches = trace.RegisterGauge(metricInflight,
+		"batches admitted but not yet answered")
+	queueDepthPerRank = trace.RegisterGaugeVec(metricQueueDepth,
+		"admitted batches routed to each home rank and not yet finished", "rank")
+	routedTotal = trace.RegisterCounterVec(metricRouted,
+		"batches routed to each home rank", "rank")
+	batchLatency = trace.RegisterHistogram(metricLatency,
+		"admission-to-reply latency of served batches, seconds", nil)
+	residentMemoryServe = trace.RegisterGaugeVec(metricResidentMem,
+		"estimated resident bytes (partition + replicas) per rank", "rank")
 )
 
 // Admission rejections, surfaced to clients as structured error frames.
@@ -47,6 +90,21 @@ func errCode(err error) string {
 	default:
 		return "internal"
 	}
+}
+
+// RejectionCode maps a typed admission rejection to its sentinel wire
+// code ("queue-full", "bad-tenant", ...). ok is false for errors that
+// are not admission rejections (transport failures, internal errors),
+// so callers — dibella-query's exit-status logic, scrape assertions —
+// can distinguish "the daemon said no" from "the request never made
+// it".
+func RejectionCode(err error) (code string, ok bool) {
+	for _, sentinel := range []error{ErrQueueFull, ErrBadTenant, ErrTooLarge, ErrEmptyBatch, ErrShuttingDown} {
+		if errors.Is(err, sentinel) {
+			return errCode(err), true
+		}
+	}
+	return "", false
 }
 
 // codeErr maps a wire code back to its sentinel (clients use errors.Is).
@@ -89,6 +147,14 @@ type Options struct {
 	// Ready, when set, is invoked on rank 0 with the bound frontend
 	// address once the listener is up.
 	Ready func(addr string)
+	// MetricsAddr, when set, brings up rank 0's observability endpoint:
+	// /metrics (Prometheus text format) and /debug/pprof/*. Handlers
+	// read local counters only — never a collective — so scrapes cannot
+	// stall or reorder the SPMD loop.
+	MetricsAddr string
+	// MetricsReady, when set, is invoked on rank 0 with the bound
+	// metrics address once that listener is up.
+	MetricsReady func(addr string)
 	// Logf, when set, receives rank-0 progress lines.
 	Logf func(format string, args ...any)
 }
@@ -139,6 +205,7 @@ type job struct {
 	batch    []pipeline.QueryRead
 	home     int
 	reqBytes int
+	tenant   string
 	admitted walltime.Point
 	// wait is the queue latency, captured when the job is dequeued
 	// (before the query runs) so QueueWaitSecs excludes service time.
@@ -165,6 +232,13 @@ type server struct {
 	queueDepth []int
 	routed     []int64
 	mem        []int64
+
+	// rec is rank 0's flight recorder (nil unless tracing is enabled).
+	// Emits happen from both the SPMD loop and connection goroutines;
+	// the recorder is internally synchronized.
+	rec *trace.Recorder
+	// metricsSrv is the optional rank-0 observability endpoint.
+	metricsSrv *http.Server
 
 	jobs     chan *job
 	stopOnce sync.Once
@@ -260,6 +334,12 @@ func startFrontend(w *pipeline.World, opts Options, mem []int64) (*server, error
 		routed:     make([]int64, p),
 		mem:        mem,
 		jobs:       make(chan *job, opts.MaxInflight+16),
+		rec:        trace.Rec(w.Comm().Rank()),
+	}
+	// The startup memory gather is the router's per-rank snapshot; it
+	// also seeds the resident-memory gauge the /metrics endpoint serves.
+	for r, m := range mem {
+		residentMemoryServe.WithRank(r).Set(m)
 	}
 	if len(opts.Tenants) > 0 {
 		s.tenants = make(map[string]bool, len(opts.Tenants))
@@ -276,6 +356,19 @@ func startFrontend(w *pipeline.World, opts Options, mem []int64) (*server, error
 		ln.Addr(), p, opts.MaxInflight, len(opts.Scorers))
 	if opts.Ready != nil {
 		opts.Ready(ln.Addr().String())
+	}
+	if opts.MetricsAddr != "" {
+		mln, err := net.Listen("tcp", opts.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("serve: metrics listen %s: %w", opts.MetricsAddr, err)
+		}
+		s.metricsSrv = &http.Server{Handler: trace.NewObservabilityMux()}
+		opts.Logf("serve: metrics on http://%s/metrics (pprof under /debug/pprof/)", mln.Addr())
+		if opts.MetricsReady != nil {
+			opts.MetricsReady(mln.Addr().String())
+		}
+		go s.metricsSrv.Serve(mln)
 	}
 	go s.acceptLoop(ln)
 	return s, nil
@@ -299,12 +392,29 @@ func (s *server) next(served int64) (servOp, *job) {
 		c.Tick(model.QueryRouteTime(c.Size(), len(s.opts.Scorers)))
 	}
 	j.wait = walltime.Since(j.admitted)
+	// The batch span runs on the SPMD loop thread, which owns the
+	// virtual clock: it covers broadcast, the collective query, and the
+	// reply handoff, in both timelines.
+	s.rec.BeginTag(traceBatch, c.Now(), j.tenant)
 	return servOp{Kind: opQuery, Home: j.home, Batch: j.batch}, j
 }
 
 // finish answers the connection handler waiting on one served batch
 // and releases its admission slot.
 func (s *server) finish(j *job, recs []pipeline.Alignment, err error, served int64, virtSecs float64) {
+	// Accounting lands before the reply: a client that has its answer can
+	// rely on the scrape endpoint already reflecting the batch, which is
+	// what lets tests (and operators) reconcile /metrics against
+	// client-observed ground truth without racing the daemon.
+	s.mu.Lock()
+	s.queueDepth[j.home]--
+	s.inflight--
+	s.mu.Unlock()
+	queueDepthPerRank.WithRank(j.home).Add(-1)
+	inflightBatches.Add(-1)
+	batchLatency.Observe(walltime.Since(j.admitted).Seconds())
+	s.rec.Instant(traceReply, s.w.Comm().Now(), int64(len(recs)))
+	s.rec.End(traceBatch, s.w.Comm().Now(), int64(len(j.batch)))
 	if err != nil {
 		j.resp <- jobResult{err: err}
 	} else {
@@ -321,10 +431,6 @@ func (s *server) finish(j *job, recs []pipeline.Alignment, err error, served int
 			}}
 		}
 	}
-	s.mu.Lock()
-	s.queueDepth[j.home]--
-	s.inflight--
-	s.mu.Unlock()
 	s.opts.Logf("serve: batch %d -> rank %d (%d reads, %d records)",
 		served, j.home, len(j.batch), len(recs))
 }
@@ -343,6 +449,9 @@ func (s *server) shutdown(served int64, virtSecs float64) Stats {
 	// connections come down.
 	s.respWG.Wait()
 	s.ln.Close()
+	if s.metricsSrv != nil {
+		s.metricsSrv.Close()
+	}
 	s.closeConns()
 	return Stats{
 		Served: served, Rejected: rejected, RoutedPerRank: routed,
@@ -368,10 +477,17 @@ func (s *server) drain() {
 // a home rank under the current snapshot and enqueues it. Rejections
 // are counted and typed.
 func (s *server) admit(req *queryRequest, reqBytes int) (*job, error) {
+	requestsTotal.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	reject := func(err error) (*job, error) {
 		s.rejected++
+		code, _ := RejectionCode(err)
+		if code == "" {
+			code = errCode(err)
+		}
+		rejectionsTotal.With(code).Inc()
+		s.rec.InstantTag(traceReject, 0, code)
 		return nil, err
 	}
 	if s.closed {
@@ -404,8 +520,16 @@ func (s *server) admit(req *queryRequest, reqBytes int) (*job, error) {
 	s.admitted++
 	s.queueDepth[home]++
 	s.routed[home]++
+	// Admission and routing happen here, on the connection goroutine:
+	// wall-clock-only events (the virtual clock lives on the loop
+	// thread), plus the live queue metrics the scrape endpoint serves.
+	s.rec.InstantTag(traceAdmit, 0, req.Tenant)
+	s.rec.Instant(traceRoute, 0, int64(home))
+	inflightBatches.Add(1)
+	queueDepthPerRank.WithRank(home).Add(1)
+	routedTotal.WithRank(home).Inc()
 	j := &job{
-		batch: req.Reads, home: home, reqBytes: reqBytes,
+		batch: req.Reads, home: home, reqBytes: reqBytes, tenant: req.Tenant,
 		admitted: walltime.Now(), resp: make(chan jobResult, 1),
 	}
 	s.respWG.Add(1)

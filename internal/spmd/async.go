@@ -64,6 +64,9 @@ type Handle[T any] struct {
 	// full collective pricing).
 	serial *streamState
 	chunk  bool
+	// flow links this exchange's post and wait events across ranks in the
+	// flight recorder (see Comm.postSeq); 0 when tracing is disabled.
+	flow uint64
 }
 
 // IAlltoallv posts an irregular all-to-all without blocking: rank i's
@@ -115,6 +118,17 @@ func iAlltoallv[T any](c *Comm, send [][]T, serial *streamState, chunk bool) *Ha
 	h := &Handle[T]{c: c, pe: pe, id: c.nextID, myBytes: myBytes, shared: shared,
 		serial: serial, chunk: chunk}
 	c.nextID++
+	c.postSeq++
+	if c.rec != nil {
+		h.flow = c.postSeq
+		if chunk {
+			c.rec.Instant(traceChunkPost, c.clock, myBytes)
+		} else {
+			c.rec.Instant(tracePost, c.clock, myBytes)
+		}
+		c.rec.FlowOut(traceExchange, c.clock, h.flow)
+	}
+	inflightExchanges.Add(1)
 	if len(c.pending) == 0 {
 		// First in-flight exchange: compute from here on counts as
 		// overlap (until attributed by a Wait).
@@ -139,6 +153,11 @@ func (h *Handle[T]) Wait() [][]T {
 	}
 	c.pending = c.pending[1:]
 	h.done = true
+	if h.chunk {
+		c.rec.Begin(traceChunkWait, c.clock)
+	} else {
+		c.rec.Begin(traceWait, c.clock)
+	}
 
 	// Compute time since the anchor (the last point already credited),
 	// excluding time blocked in collectives, overlapped this exchange's
@@ -188,6 +207,14 @@ func (h *Handle[T]) Wait() [][]T {
 	c.stats.Alltoallvs++
 	c.stats.BytesSent += h.myBytes
 	c.stats.ExchangeWall += blocked
+	if h.chunk {
+		c.rec.End(traceChunkWait, c.clock, h.myBytes)
+	} else {
+		c.rec.End(traceWait, c.clock, h.myBytes)
+	}
+	c.rec.FlowIn(traceExchange, c.clock, h.flow)
+	inflightExchanges.Add(-1)
+	exchangesTotal.Inc()
 
 	recv := make([][]T, len(rraw))
 	rec, _ := c.tr.(recvBufRecycler)

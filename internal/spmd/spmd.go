@@ -35,6 +35,31 @@ import (
 	"sync"
 	"time"
 	"unsafe"
+
+	"dibella/internal/trace"
+)
+
+// Flight-recorder event names and metric names. Registered package-level
+// constants, as the tracename analyzer requires.
+const (
+	traceBarrier   = "spmd.barrier"
+	traceAlltoallv = "spmd.alltoallv"
+	traceAllgather = "spmd.allgather"
+	tracePost      = "spmd.post"
+	traceChunkPost = "spmd.chunk_post"
+	traceWait      = "spmd.wait"
+	traceChunkWait = "spmd.chunk_wait"
+	traceExchange  = "spmd.exchange"
+
+	metricInflightExchanges = "dibella_spmd_inflight_exchanges"
+	metricExchangesTotal    = "dibella_spmd_exchanges_total"
+)
+
+var (
+	inflightExchanges = trace.RegisterGauge(metricInflightExchanges,
+		"non-blocking exchanges posted but not yet waited, across local ranks")
+	exchangesTotal = trace.RegisterCounter(metricExchangesTotal,
+		"all-to-all exchanges completed, summed over local ranks")
 )
 
 // ErrAborted is delivered (via panic/recover inside Run and RunTransport)
@@ -86,6 +111,13 @@ type Comm struct {
 	stats   Stats
 	pending []uint64 // posted-but-unwaited non-blocking handles, FIFO
 	nextID  uint64
+	// Flight recorder (nil unless tracing is enabled; every emit on a nil
+	// recorder is a no-op). postSeq numbers posted exchanges: posts are
+	// collectively ordered, so post k on one rank and wait k on another
+	// refer to the same exchange — that shared index is the flow id
+	// linking them in the trace.
+	rec     *trace.Recorder
+	postSeq uint64
 	// Overlap-wall attribution anchor: the wall instant (and blocked-time
 	// watermark) up to which compute has already been credited to
 	// Stats.OverlapWall. Valid while handles are pending; advanced at
@@ -177,7 +209,7 @@ func runRank(tr Transport, model CommModel, fn func(*Comm) error) (err error) {
 			tr.Abort()
 		}
 	}()
-	c := &Comm{tr: tr, model: model}
+	c := &Comm{tr: tr, model: model, rec: trace.Rec(tr.Rank())}
 	if err := fn(c); err != nil {
 		tr.Abort()
 		return fmt.Errorf("spmd: rank %d: %w", tr.Rank(), err)
@@ -226,6 +258,7 @@ func (c *Comm) requireIdle(op string) {
 // Barrier synchronizes all ranks and their virtual clocks.
 func (c *Comm) Barrier() {
 	c.requireIdle("barrier")
+	c.rec.Begin(traceBarrier, c.clock)
 	start := time.Now()
 	t, err := c.tr.Barrier(c.clock)
 	if err != nil {
@@ -234,6 +267,7 @@ func (c *Comm) Barrier() {
 	c.clock = t + c.modelCollective()
 	c.stats.Collectives++
 	c.stats.ExchangeWall += time.Since(start)
+	c.rec.End(traceBarrier, c.clock, 0)
 }
 
 func (c *Comm) modelCollective() float64 {
@@ -334,6 +368,7 @@ func Alltoallv[T any](c *Comm, send [][]T) [][]T {
 	if !shared && !isPOD[T]() {
 		panic(fmt.Sprintf("spmd: Alltoallv element type %T contains pointers and cannot cross an address-space boundary", *new(T)))
 	}
+	c.rec.Begin(traceAlltoallv, c.clock)
 	start := time.Now()
 	raw := make([][]byte, p)
 	var myBytes int64
@@ -360,6 +395,8 @@ func Alltoallv[T any](c *Comm, send [][]T) [][]T {
 	c.stats.Alltoallvs++
 	c.stats.BytesSent += myBytes
 	c.stats.ExchangeWall += time.Since(start)
+	c.rec.End(traceAlltoallv, c.clock, myBytes)
+	exchangesTotal.Inc()
 	return recv
 }
 
@@ -419,6 +456,7 @@ const (
 // transports move them as gob blobs (values must be gob-encodable).
 func gatherVals[T any](c *Comm, v T) []T {
 	c.requireIdle("allgather")
+	c.rec.Begin(traceAllgather, c.clock)
 	start := time.Now()
 	var out []T
 	var tmax float64
@@ -458,6 +496,7 @@ func gatherVals[T any](c *Comm, v T) []T {
 	c.clock = tmax + c.modelCollective()
 	c.stats.Collectives++
 	c.stats.ExchangeWall += time.Since(start)
+	c.rec.End(traceAllgather, c.clock, 0)
 	return out
 }
 

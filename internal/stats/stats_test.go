@@ -132,3 +132,81 @@ func TestFormatTable(t *testing.T) {
 		t.Errorf("row = %q", lines[2])
 	}
 }
+
+// boundedBreakdown maps arbitrary fuzz bytes into a well-formed
+// breakdown: non-negative buckets, overlap no larger than the exchange
+// cost it hides. Small integral values keep float arithmetic exact, so
+// the merge properties below can assert equality without tolerances.
+func boundedBreakdown(raw [8]uint8) Breakdown {
+	b := Breakdown{
+		PackVirtual:     float64(raw[0]),
+		LocalVirtual:    float64(raw[1]),
+		ExchangeVirtual: float64(raw[2]),
+		PackWall:        time.Duration(raw[4]) * time.Millisecond,
+		LocalWall:       time.Duration(raw[5]) * time.Millisecond,
+		ExchangeWall:    time.Duration(raw[6]) * time.Millisecond,
+		OverlapWall:     time.Duration(raw[7]) * time.Millisecond,
+	}
+	if b.ExchangeVirtual > 0 {
+		b.OverlapVirtual = float64(raw[3] % raw[2])
+	}
+	return b
+}
+
+// Property: merging breakdowns is commutative and has the zero value as
+// identity — the invariants Report aggregation relies on when it folds
+// per-rank, per-stage breakdowns in gather order.
+func TestBreakdownMergeCommutes(t *testing.T) {
+	f := func(ra, rb [8]uint8) bool {
+		a, b := boundedBreakdown(ra), boundedBreakdown(rb)
+		ab, ba := a, b
+		ab.Add(b)
+		ba.Add(a)
+		if ab != ba {
+			return false
+		}
+		id := a
+		id.Add(Breakdown{})
+		return id == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: totals distribute over merge — the total of a merged
+// breakdown equals the sum of the parts' totals, virtual and wall. This
+// is what makes per-rank accumulation order-independent.
+func TestBreakdownMergeTotalsAdd(t *testing.T) {
+	f := func(ra, rb, rc [8]uint8) bool {
+		a, b, c := boundedBreakdown(ra), boundedBreakdown(rb), boundedBreakdown(rc)
+		merged := a
+		merged.Add(b)
+		merged.Add(c)
+		return merged.TotalVirtual() == a.TotalVirtual()+b.TotalVirtual()+c.TotalVirtual() &&
+			merged.TotalWall() == a.TotalWall()+b.TotalWall()+c.TotalWall()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the overlap fraction is a fraction — within [0, 1] for any
+// well-formed breakdown and any merge of them (overlap cannot exceed
+// the exchange cost it hides).
+func TestBreakdownOverlapFractionBounded(t *testing.T) {
+	f := func(ra, rb [8]uint8) bool {
+		a, b := boundedBreakdown(ra), boundedBreakdown(rb)
+		merged := a
+		merged.Add(b)
+		for _, x := range []Breakdown{a, b, merged} {
+			if frac := x.OverlapFraction(); frac < 0 || frac > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event JSON (the "JSON Array Format" with a traceEvents
+// wrapper), the interchange format Perfetto and chrome://tracing read.
+// The file carries two process lanes so the real and the modeled
+// timelines sit side by side:
+//
+//	pid 0 — wall clock: ts is walltime.Monotonic in microseconds
+//	pid 1 — modeled clock: ts is the rank's virtual_seconds in microseconds
+//
+// Within each process lane, tid is the rank, so a P-rank run renders as
+// P parallel tracks per clock. Flow events (ph "s"/"f") link a posted
+// exchange on one rank to its delivery on another.
+
+// chromeEvent is one JSON trace event. Field order is fixed by the
+// struct, so output is deterministic given the same snapshot.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	chromeCat = "dibella"
+	wallPid   = 0
+	virtPid   = 1
+)
+
+// WriteChrome renders the gathered per-rank snapshots as one Chrome
+// trace-event JSON document.
+func WriteChrome(w io.Writer, ranks []RankEvents) error {
+	var evs []chromeEvent
+	meta := func(pid int, name string) {
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(wallPid, "wall clock")
+	meta(virtPid, "modeled clock")
+	for _, re := range ranks {
+		lane := fmt.Sprintf("rank %d", re.Rank)
+		for _, pid := range []int{wallPid, virtPid} {
+			evs = append(evs, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: re.Rank,
+				Args: map[string]any{"name": lane},
+			})
+		}
+	}
+	for _, re := range ranks {
+		for _, e := range re.Events {
+			base := chromeEvent{
+				Name: e.Name, Cat: chromeCat, Ph: string(e.Phase), Tid: re.Rank,
+			}
+			if e.Flow != 0 {
+				base.ID = fmt.Sprintf("0x%x", e.Flow)
+				if e.Phase == PhaseFlowIn {
+					// Bind the flow finish to the enclosing span so
+					// Perfetto draws the arrow into the wait slice.
+					base.BP = "e"
+				}
+			}
+			args := map[string]any{}
+			if e.Arg != 0 {
+				args["arg"] = e.Arg
+			}
+			if e.Tag != "" {
+				args["tag"] = e.Tag
+			}
+
+			wall := base
+			wall.Pid = wallPid
+			wall.Ts = float64(e.Wall.Nanoseconds()) / 1e3
+			if len(args) > 0 || e.Phase != PhaseEnd {
+				// Cross-reference the other clock from each lane.
+				wa := map[string]any{"virtual_s": e.Virt}
+				for k, v := range args {
+					wa[k] = v
+				}
+				wall.Args = wa
+			}
+			evs = append(evs, wall)
+
+			virt := base
+			virt.Pid = virtPid
+			virt.Ts = e.Virt * 1e6
+			if len(args) > 0 || e.Phase != PhaseEnd {
+				va := map[string]any{"wall_s": e.Wall.Seconds()}
+				for k, v := range args {
+					va[k] = v
+				}
+				virt.Args = va
+			}
+			evs = append(evs, virt)
+		}
+		if re.Dropped > 0 {
+			evs = append(evs, chromeEvent{
+				Name: "trace.dropped", Cat: chromeCat, Ph: string(PhaseInstant),
+				Pid: wallPid, Tid: re.Rank,
+				Args: map[string]any{"arg": re.Dropped},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": evs})
+}

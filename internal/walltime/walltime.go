@@ -24,3 +24,14 @@ func Now() Point { return Point{t: time.Now()} }
 
 // Since returns the wall time elapsed since p was captured.
 func Since(p Point) time.Duration { return time.Since(p.t) }
+
+// origin anchors Monotonic. It is deliberately unexported: trace
+// timestamps are durations against a process-local instant, so an
+// absolute epoch still cannot leak into output.
+var origin = time.Now()
+
+// Monotonic returns the wall time elapsed since process start (more
+// precisely, since this package was initialized). It is the timestamp
+// source for the flight recorder: comparable within one process's
+// trace, meaningless across processes.
+func Monotonic() time.Duration { return time.Since(origin) }
